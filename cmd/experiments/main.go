@@ -1,0 +1,216 @@
+// Command experiments regenerates the paper's evaluation: every measured
+// figure and table (Figure 3, Figure 5, Figure 6, the Section V-A
+// task-hours sweep, Figure 8), writing CSV time series and printing the
+// shape checks against the paper's reported results.
+//
+// Usage:
+//
+//	experiments [-out DIR] [-paper] [fig3|fig5|fig6|taskhours|fig8|all]
+//
+// Without -paper the quick (laptop-scale) variants run; -paper uses the
+// full 130-node topology and 60 s steps (minutes of wall-clock time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"nephelix/internal/experiments"
+	"nephelix/internal/sim"
+)
+
+func main() {
+	out := flag.String("out", "results", "directory for CSV output")
+	paper := flag.Bool("paper", false, "run at full paper scale (slow)")
+	flag.Parse()
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	if err := run(*out, *paper, which); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(outDir string, paper bool, which string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	all := which == "all"
+	failures := 0
+
+	if all || which == "fig3" {
+		n, err := runFig3(outDir, paper)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if all || which == "fig5" {
+		n, err := runFig5(outDir)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if all || which == "fig6" {
+		n, err := runFig6(outDir, paper)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if all || which == "taskhours" {
+		n, err := runTaskHours(outDir, paper)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if all || which == "fig8" {
+		n, err := runFig8(outDir, paper)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" {
+		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|all)", which)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d shape check(s) failed", failures)
+	}
+	fmt.Println("\nall shape checks passed")
+	return nil
+}
+
+func writeCSV(path string, rows []sim.Row, scale float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := experiments.WriteRowsCSV(f, rows, scale); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s (%d rows)\n", path, len(rows))
+	return nil
+}
+
+func report(name string, checks experiments.CheckList, elapsed time.Duration) int {
+	fmt.Printf("\n=== %s (%s) ===\n%s", name, elapsed.Round(time.Millisecond), checks)
+	return len(checks.Failed())
+}
+
+func runFig3(outDir string, paper bool) (int, error) {
+	opts := experiments.Fig3Quick()
+	if paper {
+		opts = experiments.Fig3Paper()
+	}
+	start := time.Now()
+	res, err := experiments.RunFig3(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Figure 3: batching trade-off under static provisioning", res.Checks, time.Since(start))
+	for name, c := range res.Configs {
+		path := filepath.Join(outDir, "fig3_"+string(name)+".csv")
+		if err := writeCSV(path, c.Rows, float64(opts.Scale)); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func runFig5(outDir string) (int, error) {
+	start := time.Now()
+	res, err := experiments.RunFig5(experiments.Fig5Quick())
+	if err != nil {
+		return 0, err
+	}
+	n := report("Figure 5: Rebalance solution-candidate surface", res.Checks, time.Since(start))
+	path := filepath.Join(outDir, "fig5_surface.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return n, err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "p1,p2,p3_min,total")
+	for _, pt := range res.Points {
+		fmt.Fprintf(f, "%d,%d,%d,%d\n", pt.P1, pt.P2, pt.P3, pt.Total)
+	}
+	fmt.Printf("  wrote %s (%d cells; optimum F=%d at %d cells)\n",
+		path, len(res.Points), res.OptimumTotal, res.OptimaCount)
+	return n, nil
+}
+
+func runFig6(outDir string, paper bool) (int, error) {
+	opts := experiments.Fig6Quick()
+	if paper {
+		opts = experiments.Fig6Paper()
+	}
+	start := time.Now()
+	res, err := experiments.RunFig6(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Figure 6: elastic vs unelastic PrimeTester", res.Checks, time.Since(start))
+	if err := writeCSV(filepath.Join(outDir, "fig6_elastic.csv"), res.ElasticRows, float64(opts.Scale)); err != nil {
+		return n, err
+	}
+	if err := writeCSV(filepath.Join(outDir, "fig6_baseline.csv"), res.BaselineRows, float64(opts.Scale)); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func runTaskHours(outDir string, paper bool) (int, error) {
+	opts := experiments.TaskHoursQuick()
+	if paper {
+		opts.Fig6Options = experiments.Fig6Paper()
+	}
+	start := time.Now()
+	res, err := experiments.RunTaskHours(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Section V-A: task-hours vs latency constraint", res.Checks, time.Since(start))
+	path := filepath.Join(outDir, "taskhours.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return n, err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "bound_ms,task_hours,fulfillment")
+	for i, b := range res.Options.Bounds {
+		fmt.Fprintf(f, "%s,%s,%s\n",
+			strconv.FormatFloat(float64(b.Milliseconds()), 'f', -1, 64),
+			strconv.FormatFloat(res.TaskHours[i], 'f', 2, 64),
+			strconv.FormatFloat(res.Fulfillment[i], 'f', 3, 64))
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return n, nil
+}
+
+func runFig8(outDir string, paper bool) (int, error) {
+	opts := experiments.Fig8Quick()
+	if paper {
+		opts = experiments.Fig8Paper()
+	}
+	start := time.Now()
+	res, err := experiments.RunFig8(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Figure 8: TwitterSentiment under reactive scaling", res.Checks, time.Since(start))
+	if err := writeCSV(filepath.Join(outDir, "fig8.csv"), res.Rows, float64(opts.Scale)); err != nil {
+		return n, err
+	}
+	return n, nil
+}

@@ -1,0 +1,120 @@
+// Command primetester runs the PrimeTester job (Sections III-A and V-A)
+// on the virtual-time cluster simulator in any of the paper's four
+// configurations, optionally with reactive elastic scaling, and writes
+// the time series as CSV.
+//
+// Usage:
+//
+//	primetester [-config storm|if|16kib|20ms] [-elastic] [-scale N]
+//	            [-steps N] [-stepdur S] [-bound MS] [-csv FILE] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nephelix/internal/apps"
+	"nephelix/internal/experiments"
+	"nephelix/internal/sim"
+	"nephelix/internal/workload"
+)
+
+func main() {
+	config := flag.String("config", "20ms", "batching configuration: storm | if | 16kib | 20ms")
+	elastic := flag.Bool("elastic", false, "enable the reactive elastic scaler (testers 1..520)")
+	scale := flag.Int("scale", 8, "divide the paper topology and rates by this factor")
+	steps := flag.Int("steps", 4, "number of increment steps (peak = (steps+1)·10⁴ items/s)")
+	stepdur := flag.Float64("stepdur", 20, "step duration in seconds (paper: 60)")
+	bound := flag.Int("bound", 20, "latency constraint in milliseconds (for the 20ms config)")
+	csvPath := flag.String("csv", "", "write the time series to this CSV file")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*config, *elastic, *scale, *steps, *stepdur, *bound, *csvPath, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "primetester:", err)
+		os.Exit(1)
+	}
+}
+
+func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS int, csvPath string, seed int64) error {
+	var mode sim.BatchMode
+	var bound time.Duration
+	switch config {
+	case "storm", "if":
+		mode = sim.BatchInstant
+	case "16kib":
+		mode = sim.BatchFixedBuffer
+	case "20ms":
+		mode = sim.BatchAdaptive
+		bound = time.Duration(boundMS) * time.Millisecond
+	default:
+		return fmt.Errorf("unknown config %q (want storm|if|16kib|20ms)", config)
+	}
+
+	base := apps.PrimeTesterOptions{
+		Sources:      32,
+		Sinks:        32,
+		PrimeTesters: 128,
+		Schedule: &workload.StepSchedule{
+			WarmUpRate:     10000,
+			StepDelta:      10000,
+			IncrementSteps: steps,
+			StepDuration:   stepdur,
+		},
+		Mode:            mode,
+		ConstraintBound: bound,
+		Elastic:         elastic,
+		WorkerNodes:     130,
+		SlotsPerNode:    5,
+		Seed:            seed,
+	}
+	if elastic {
+		base.MinPT, base.MaxPT = 1, 520
+	}
+	opts := apps.ScalePrimeTesterOptions(base, scale)
+
+	cfg, probes, err := apps.BuildPrimeTester(opts)
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(cfg, probes)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("PrimeTester %s at 1/%d scale, elastic=%v, %d+2 steps of %.0fs\n",
+		config, scale, elastic, 2*steps, stepdur)
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+
+	summary := res.Probes[apps.PrimeProbe]
+	fmt.Printf("\nmean latency %.1f ms, p95 %.1f ms over %d samples\n",
+		summary.Mean*1000, summary.P95*1000, summary.Count)
+	if bound > 0 {
+		fmt.Printf("constraint %v met in %.0f%% of %d adjustment intervals\n",
+			bound, summary.Fulfillment*100, summary.Intervals)
+	}
+	fmt.Printf("emitted %d items; task-hours (paper scale) %.1f\n",
+		res.Emitted[apps.PTSource]*int64(scale), res.TaskHours*float64(scale))
+	if elastic {
+		fmt.Printf("scale-ups %d, scale-downs %d, peak testers %d\n",
+			res.ScaleUps, res.ScaleDowns, res.PeakParallelism[apps.PTWorker]*scale)
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteRowsCSV(f, res.Rows, float64(scale)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d rows)\n", csvPath, len(res.Rows))
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+// Command tracegen synthesizes a JSONL tweet dataset whose timestamps
+// follow the paper's diurnal trace (the stand-in for the 69 GB two-week
+// Twitter crawl), for replay with twittersentiment -trace.
+//
+// Usage:
+//
+//	tracegen [-out FILE] [-scale N] [-duration S] [-topics N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nephelix/internal/apps"
+	"nephelix/internal/workload"
+)
+
+func main() {
+	out := flag.String("out", "tweets.jsonl", "output trace file")
+	scale := flag.Int("scale", 16, "divide the paper trace's rates by this factor")
+	duration := flag.Float64("duration", 0, "truncate the 6000 s trace (0 = full)")
+	topics := flag.Int("topics", 1000, "topic universe size")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*out, *scale, *duration, *topics, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, scale int, duration float64, topics int, seed int64) error {
+	trace := apps.DefaultTweetTrace()
+	if scale > 1 {
+		f := float64(scale)
+		trace.BaseRate /= f
+		trace.DailyAmplitude /= f
+		for i := range trace.Bursts {
+			trace.Bursts[i].ExtraRate /= f
+		}
+	}
+	if duration > 0 && duration < trace.Length {
+		trace.Length = duration
+	}
+	n, err := workload.GenerateTweetTraceFile(out, trace, topics, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d tweets to %s (%.0f s of trace at 1/%d scale)\n",
+		n, out, trace.Length, scale)
+	return nil
+}

@@ -1,0 +1,135 @@
+// Command twittersentiment runs the TwitterSentiment job (Section V-B)
+// on the virtual-time cluster simulator: a synthetic two-week tweet trace
+// replayed in 100 minutes against the Figure 7 topology with two latency
+// constraints and reactive elastic scaling.
+//
+// Usage:
+//
+//	twittersentiment [-scale N] [-duration S] [-csv FILE] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nephelix/internal/apps"
+	"nephelix/internal/experiments"
+	"nephelix/internal/sim"
+	"nephelix/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 4, "divide trace rates and parallelism by this factor")
+	duration := flag.Float64("duration", 0, "truncate the 6000 s trace (0 = full)")
+	csvPath := flag.String("csv", "", "write the time series to this CSV file")
+	tracePath := flag.String("trace", "", "replay a recorded JSONL tweet trace (see cmd/tracegen)")
+	speedup := flag.Float64("speedup", 1, "replay speed multiplier for -trace")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*scale, *duration, *csvPath, *tracePath, *speedup, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "twittersentiment:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale int, duration float64, csvPath, tracePath string, speedup float64, seed int64) error {
+	opts := apps.DefaultTwitterSentimentOptions()
+	opts.Seed = seed
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		tweets, err := workload.ReadTweetTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		replay, err := workload.NewTweetReplay(tweets, speedup)
+		if err != nil {
+			return err
+		}
+		opts.Replay = replay
+		scale = 1 // the trace already carries its own rates
+	}
+	if scale > 1 && opts.Replay == nil {
+		f := float64(scale)
+		tr := *opts.Schedule
+		tr.BaseRate /= f
+		tr.DailyAmplitude /= f
+		bursts := make([]workload.Burst, len(tr.Bursts))
+		copy(bursts, tr.Bursts)
+		for i := range bursts {
+			bursts[i].ExtraRate /= f
+		}
+		tr.Bursts = bursts
+		opts.Schedule = &tr
+		div := func(v int) int {
+			if r := v / scale; r > 0 {
+				return r
+			}
+			return 1
+		}
+		opts.Sources = div(opts.Sources)
+		opts.InitialHT = div(opts.InitialHT)
+		opts.InitialFilter = div(opts.InitialFilter)
+		opts.InitialSentiment = div(opts.InitialSentiment)
+		opts.MaxElastic = div(opts.MaxElastic)
+		opts.WorkerNodes = div(opts.WorkerNodes)
+	}
+
+	cfg, probes, err := apps.BuildTwitterSentiment(opts)
+	if err != nil {
+		return err
+	}
+	if duration > 0 {
+		cfg.Duration = duration
+	}
+	s, err := sim.New(cfg, probes)
+	if err != nil {
+		return err
+	}
+
+	if opts.Replay != nil {
+		peak, at := opts.Replay.PeakRate()
+		fmt.Printf("TwitterSentiment replaying %d tweets over %.0f s (peak ≈%.0f tweets/s at %d s)...\n",
+			opts.Replay.Len(), opts.Replay.Duration(), peak, at)
+	} else {
+		fmt.Printf("TwitterSentiment at 1/%d scale (trace %.0f s, peak ≈%.0f tweets/s)...\n",
+			scale, cfg.Duration, 6734.0/float64(scale))
+	}
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+
+	hot := res.Probes[apps.HotTopicsProbe]
+	sent := res.Probes[apps.SentimentProbe]
+	fmt.Printf("\nconstraint 1 (hot topics, 215 ms): met %.0f%% of %d intervals; mean %.0f ms, p95 %.0f ms\n",
+		hot.Fulfillment*100, hot.Intervals, hot.Mean*1000, hot.P95*1000)
+	fmt.Printf("constraint 2 (sentiment, 30 ms):   met %.0f%% of %d intervals; mean %.1f ms, p95 %.1f ms\n",
+		sent.Fulfillment*100, sent.Intervals, sent.Mean*1000, sent.P95*1000)
+	fmt.Printf("tweets emitted: %d; mean task CPU utilization %.1f%%\n",
+		res.Emitted[apps.TSSource]*int64(scale), res.MeanCPUUtilization*100)
+	fmt.Printf("scale-ups %d, scale-downs %d; peak parallelism HT=%d F=%d S=%d\n",
+		res.ScaleUps, res.ScaleDowns,
+		res.PeakParallelism[apps.TSHotTopics]*scale,
+		res.PeakParallelism[apps.TSFilter]*scale,
+		res.PeakParallelism[apps.TSSentiment]*scale)
+	fmt.Printf("task-hours (paper scale): %.1f\n", res.TaskHours*float64(scale))
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := experiments.WriteRowsCSV(f, res.Rows, float64(scale)); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d rows)\n", csvPath, len(res.Rows))
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+// Package nephelix is a from-scratch Go reproduction of
+//
+//	B. Lohrmann, P. Janacik, O. Kao:
+//	"Elastic Stream Processing with Latency Guarantees", ICDCS 2015,
+//
+// comprising the paper's primary contribution — a queueing-theoretic
+// latency model with the Rebalance / ResolveBottlenecks / ScaleReactively
+// reactive scaling strategy (internal/core) — and every substrate it
+// depends on: the formal job/runtime-graph model with latency constraints
+// (internal/model), the QoS measurement plane with partial/global
+// summaries and the adaptive output-batching controller (internal/qos),
+// a live goroutine-based streaming engine (internal/engine), a
+// virtual-time cluster simulator that regenerates the paper's 130-node
+// experiments on a laptop (internal/sim), cluster scheduling and
+// resource accounting (internal/cluster), the evaluation workloads
+// (internal/workload, internal/apps) and the per-figure experiment
+// harness (internal/experiments).
+//
+// The benchmarks in bench_test.go regenerate every measured figure and
+// table of the paper's evaluation; see DESIGN.md for the system inventory
+// and EXPERIMENTS.md for paper-vs-measured results.
+package nephelix

@@ -1,0 +1,123 @@
+// Capacityplanner: offline what-if analysis with the paper's latency
+// model (Section IV-C/IV-D), used directly as a library.
+//
+// Given measured per-task statistics for a three-stage pipeline (the kind
+// of numbers any APM stack provides — arrival rates, service times and
+// their variation, observed queue waits), the planner asks the Rebalance
+// optimizer for the minimal total parallelism that keeps the modeled
+// queue waiting time inside a budget, across a range of latency bounds.
+//
+// Run with:
+//
+//	go run ./examples/capacityplanner
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"nephelix/internal/core"
+	"nephelix/internal/model"
+	"nephelix/internal/qos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "capacityplanner:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Pipeline: ingest -> parse -> enrich -> store.
+	g := model.NewJobGraph()
+	for _, v := range []model.JobVertex{
+		{Name: "ingest", Parallelism: 4, MinParallelism: 4, MaxParallelism: 4},
+		{Name: "parse", Parallelism: 8, MinParallelism: 1, MaxParallelism: 128},
+		{Name: "enrich", Parallelism: 12, MinParallelism: 1, MaxParallelism: 128},
+		{Name: "store", Parallelism: 6, MinParallelism: 1, MaxParallelism: 64},
+	} {
+		if err := g.AddVertex(v); err != nil {
+			return err
+		}
+	}
+	for _, e := range [][2]string{{"ingest", "parse"}, {"parse", "enrich"}, {"enrich", "store"}} {
+		if err := g.AddEdge(e[0], e[1], model.PatternRoundRobin); err != nil {
+			return err
+		}
+	}
+	seq, err := model.ParseSequence(g,
+		"ingest->parse", "parse", "parse->enrich", "enrich", "enrich->store", "store")
+	if err != nil {
+		return err
+	}
+
+	// Measured statistics, as a QoS global summary. Arrival rates are per
+	// task at the *current* parallelism; the model rescales them when it
+	// explores other degrees of parallelism (Equation 5).
+	summary := qos.NewSummary()
+	summary.Vertices["parse"] = qos.VertexStats{
+		TaskLatency: 0.0018, ServiceTimeMean: 0.0018, ServiceTimeCV: 0.6,
+		InterarrivalMean: 1.0 / 450, InterarrivalCV: 1.1, Parallelism: 8,
+	}
+	summary.Vertices["enrich"] = qos.VertexStats{
+		TaskLatency: 0.0045, ServiceTimeMean: 0.0045, ServiceTimeCV: 0.9,
+		InterarrivalMean: 1.0 / 180, InterarrivalCV: 1.0, Parallelism: 12,
+	}
+	summary.Vertices["store"] = qos.VertexStats{
+		TaskLatency: 0.0012, ServiceTimeMean: 0.0012, ServiceTimeCV: 0.4,
+		InterarrivalMean: 1.0 / 600, InterarrivalCV: 1.2, Parallelism: 6,
+	}
+	summary.Edges[model.EdgeKey{Source: "ingest", Target: "parse"}] = qos.EdgeStats{
+		ChannelLatency: 0.0035, OutputBatchLatency: 0.0010,
+	}
+	summary.Edges[model.EdgeKey{Source: "parse", Target: "enrich"}] = qos.EdgeStats{
+		ChannelLatency: 0.0062, OutputBatchLatency: 0.0015,
+	}
+	summary.Edges[model.EdgeKey{Source: "enrich", Target: "store"}] = qos.EdgeStats{
+		ChannelLatency: 0.0021, OutputBatchLatency: 0.0008,
+	}
+
+	fmt.Println("measured pipeline (per-task):")
+	for _, name := range []string{"parse", "enrich", "store"} {
+		v := summary.Vertices[name]
+		fmt.Printf("  %-7s p=%-3d λ=%5.0f/s  S=%4.1f ms  ρ=%.2f\n",
+			name, v.Parallelism, v.ArrivalRate(), v.ServiceTimeMean*1000, v.Utilization())
+	}
+
+	sm, err := core.BuildSequenceModel(g, seq, summary, core.DefaultModelOptions())
+	if err != nil {
+		return err
+	}
+	policy := qos.DefaultBatchingPolicy()
+
+	fmt.Println("\nminimal parallelism per latency bound (Rebalance, Algorithm 1):")
+	fmt.Printf("%10s %10s %8s %8s %8s %8s\n", "bound", "Ŵ budget", "parse", "enrich", "store", "total")
+	for _, bound := range []time.Duration{
+		15 * time.Millisecond,
+		20 * time.Millisecond,
+		30 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+	} {
+		c := &model.Constraint{Name: "plan", Sequence: seq, Bound: bound, Window: 10 * time.Second}
+		wLimit := policy.QueueWaitLimit(summary, c)
+		p, err := core.Rebalance(sm, wLimit, nil)
+		if err != nil {
+			fmt.Printf("%10v %9.1fms %26s\n", bound, wLimit*1000, "infeasible even at max scale-out")
+			continue
+		}
+		total := p["parse"] + p["enrich"] + p["store"]
+		fmt.Printf("%10v %9.1fms %8d %8d %8d %8d\n",
+			bound, wLimit*1000, p["parse"], p["enrich"], p["store"], total)
+	}
+
+	fmt.Println("\nmarginal value of one more task at the current operating point:")
+	for _, vm := range sm.Vertices {
+		cur := vm.Current
+		fmt.Printf("  %-7s W(p=%d)=%5.2f ms -> W(p=%d)=%5.2f ms  (e=%.2f)\n",
+			vm.Name, cur, vm.Wait(cur)*1000, cur+1, vm.Wait(cur+1)*1000, vm.E)
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// PrimeTester: the paper's microbenchmark (Sections III and V-A) on the
+// virtual-time cluster simulator — 32 sources feeding an elastic pool of
+// probable-primality testers under a 20 ms latency constraint, load
+// stepping up and down.
+//
+// The simulator executes a scaled-down topology of the paper's 130-node
+// cluster in a few wall-clock seconds; per-task load and all control
+// loops (QoS measurement, adaptive batching, reactive scaling) are
+// identical to the paper-scale run.
+//
+// Run with:
+//
+//	go run ./examples/primetester [-scale N] [-elastic=false]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nephelix/internal/apps"
+	"nephelix/internal/sim"
+	"nephelix/internal/workload"
+)
+
+func main() {
+	scale := flag.Int("scale", 8, "divide the paper topology and rates by this factor")
+	elastic := flag.Bool("elastic", true, "enable the reactive elastic scaler")
+	flag.Parse()
+	if err := run(*scale, *elastic); err != nil {
+		fmt.Fprintln(os.Stderr, "primetester:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale int, elastic bool) error {
+	base := apps.PrimeTesterOptions{
+		Sources:      32,
+		Sinks:        32,
+		PrimeTesters: 128,
+		MinPT:        1,
+		MaxPT:        520,
+		Schedule: &workload.StepSchedule{
+			WarmUpRate:     10000,
+			StepDelta:      10000,
+			IncrementSteps: 4,
+			StepDuration:   20,
+		},
+		Mode:            sim.BatchAdaptive,
+		ConstraintBound: 20 * time.Millisecond,
+		Elastic:         elastic,
+		WorkerNodes:     130,
+		SlotsPerNode:    5,
+		Seed:            1,
+	}
+	opts := apps.ScalePrimeTesterOptions(base, scale)
+	cfg, probes, err := apps.BuildPrimeTester(opts)
+	if err != nil {
+		return err
+	}
+	s, err := sim.New(cfg, probes)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("simulating PrimeTester at 1/%d scale (elastic=%v)...\n\n", scale, elastic)
+	res, err := s.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%8s %12s %12s %12s %10s %10s\n",
+		"time", "attempted/s", "delivered/s", "latency(ms)", "p95(ms)", "testers")
+	for _, r := range res.Rows {
+		if int(r.Time)%20 != 0 {
+			continue
+		}
+		p := r.Probes[apps.PrimeProbe]
+		fmt.Printf("%7.0fs %12.0f %12.0f %12.1f %10.1f %10d\n",
+			r.Time,
+			r.Attempted[apps.PTSource]*float64(scale),
+			r.Processed[apps.PTSink]*float64(scale),
+			p.Mean*1000, p.P95*1000,
+			r.Parallelism[apps.PTWorker]*scale)
+	}
+
+	summary := res.Probes[apps.PrimeProbe]
+	fmt.Printf("\nconstraint 20ms met in %.0f%% of %d adjustment intervals\n",
+		summary.Fulfillment*100, summary.Intervals)
+	fmt.Printf("overall mean %.1f ms, p95 %.1f ms\n", summary.Mean*1000, summary.P95*1000)
+	fmt.Printf("task-hours (paper scale): %.1f   scale-ups: %d   scale-downs: %d\n",
+		res.TaskHours*float64(scale), res.ScaleUps, res.ScaleDowns)
+	fmt.Printf("peak tester parallelism: %d of %d\n",
+		res.PeakParallelism[apps.PTWorker]*scale, base.MaxPT)
+	return nil
+}

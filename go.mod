@@ -1,0 +1,3 @@
+module nephelix
+
+go 1.22

@@ -1,0 +1,269 @@
+// Package apps builds the paper's two evaluation jobs — PrimeTester
+// (Section III-A) and TwitterSentiment (Section V-B) — as simulator
+// configurations, including the calibrated cost models that substitute
+// the paper's 130-node cluster.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nephelix/internal/core"
+	"nephelix/internal/model"
+	"nephelix/internal/sim"
+	"nephelix/internal/workload"
+)
+
+// Vertex names of the PrimeTester job (Figure 2).
+const (
+	PTSource = "Source"
+	PTWorker = "PrimeTester"
+	PTSink   = "Sink"
+)
+
+// PrimeProbe is the probe name of the PrimeTester job's end-to-end
+// latency (Source emit → Sink consume).
+const PrimeProbe = "source-to-sink"
+
+// PrimeTesterOptions parameterizes the PrimeTester job build.
+type PrimeTesterOptions struct {
+	// Sources and Sinks are the (static) source/sink parallelism.
+	Sources int
+	Sinks   int
+	// PrimeTesters is the initial PrimeTester parallelism; MinPT/MaxPT
+	// its elastic bounds (set equal to PrimeTesters for the unelastic
+	// baseline).
+	PrimeTesters int
+	MinPT, MaxPT int
+	// Schedule is the step-wise load profile.
+	Schedule *workload.StepSchedule
+	// Mode configures output batching on both edges (Storm/Nephele-IF:
+	// instant; Nephele-16KiB: fixed buffer; Nephele-20ms: adaptive).
+	Mode sim.BatchMode
+	// ConstraintBound enables the latency constraint (0 disables; the
+	// 16KiB and IF configurations run unconstrained).
+	ConstraintBound time.Duration
+	// Elastic enables reactive scaling.
+	Elastic bool
+	// Scaler configures the elastic scaler; zero value takes the paper's
+	// defaults.
+	Scaler core.ScalerConfig
+	// WorkerNodes/SlotsPerNode describe the cluster pool.
+	WorkerNodes  int
+	SlotsPerNode int
+	// QueueCapacityItems bounds input queues.
+	QueueCapacityItems int
+	Seed               int64
+	// SampleProbability tags source emissions for latency probing.
+	SampleProbability float64
+}
+
+// primeCosts is the calibrated data-plane cost model for the PrimeTester
+// cluster. The constants reproduce Figure 3's measured envelope on the
+// paper's hardware (Appendix A): per-flush costs cover system calls,
+// transport headers and interrupt handling amortized per shipped buffer;
+// with ~64 B items they cap instant flushing near 40 k items/s on 200
+// tasks while 16 KiB buffers reach ~63 k items/s.
+// With S̄ = 3.15 ms and 200 PrimeTester tasks: instant flushing binds at
+// the sources (50 × 1/(0.05+1.2) ms ≈ 40 k items/s), the 20 ms adaptive
+// configuration at the testers (200 / (3.15+1.2/1.7+0.35/7) ms ≈ 51 k)
+// and 16 KiB buffers at the testers' pure service time (≈ 63 k) —
+// matching the paper's 40/52/63 k effective peaks.
+func primeCosts() sim.CostModel {
+	return sim.CostModel{
+		FlushCPU:   1.2e-3,
+		ReceiveCPU: 350e-6,
+		NetFixed:   150e-6,
+		NetPerByte: 8e-9,
+		TCPSetup:   1e-3,
+	}
+}
+
+// primeItemBytes is the serialized size of one candidate number with
+// envelope (matches the 16 KiB warm-up fill time of ≈3 s in Figure 3).
+const primeItemBytes = 64
+
+// primeServiceMean is the mean CPU time of one probable-primality test on
+// the reference core (batched peak 63 k items/s over 200 tasks ⇒ ≈3.15 ms
+// per item).
+const primeServiceMean = 3.15e-3
+
+// primeTestBehavior models the PrimeTester UDF's service time. The
+// sources emit odd fixed-width candidates, so the test cost is dominated
+// by the first Miller–Rabin round (one modular exponentiation): ~97% of
+// candidates are composites that fail early, while probable primes run
+// additional rounds. The resulting coefficient of variation (≈0.5)
+// matches the scaling aggressiveness the paper's evaluation exhibits
+// (warm-up parallelism near the busy-server demand).
+type primeTestBehavior struct{}
+
+var _ sim.Behavior = (*primeTestBehavior)(nil)
+
+// ServiceTime draws from the Miller–Rabin cost profile with mean
+// primeServiceMean.
+func (primeTestBehavior) ServiceTime(rng *rand.Rand, _ *sim.Item) float64 {
+	// Mixture: 97% early-exit composites at ≈1× base, 3% probable primes
+	// at 4× base (additional rounds, partially offset by small-factor
+	// prescreening). Base chosen so the mixture mean equals
+	// primeServiceMean.
+	const base = primeServiceMean / (0.97*1.0 + 0.03*4.0)
+	if rng.Float64() < 0.97 {
+		return base * (0.85 + 0.3*rng.Float64())
+	}
+	return base * 4.0 * (0.9 + 0.2*rng.Float64())
+}
+
+// Process forwards the tested candidate to the sinks.
+func (primeTestBehavior) Process(ctx *sim.TaskContext, it sim.Item) {
+	ctx.Emit(0, it)
+}
+
+// primeSinkBehavior records end-to-end latency for sampled items.
+type primeSinkBehavior struct {
+	probe *sim.Probe
+}
+
+var _ sim.Behavior = (*primeSinkBehavior)(nil)
+
+func (primeSinkBehavior) ServiceTime(_ *rand.Rand, _ *sim.Item) float64 { return 20e-6 }
+
+func (b primeSinkBehavior) Process(ctx *sim.TaskContext, it sim.Item) {
+	if it.Sampled {
+		b.probe.Record(ctx.Now() - it.EmitTime)
+	}
+}
+
+// BuildPrimeTester assembles the PrimeTester job's simulator config and
+// probe set.
+func BuildPrimeTester(opts PrimeTesterOptions) (sim.Config, *sim.ProbeSet, error) {
+	if opts.Sources <= 0 || opts.Sinks <= 0 || opts.PrimeTesters <= 0 {
+		return sim.Config{}, nil, fmt.Errorf("apps: prime tester needs positive parallelism, got %+v", opts)
+	}
+	if opts.Schedule == nil {
+		return sim.Config{}, nil, fmt.Errorf("apps: prime tester needs a schedule")
+	}
+	if err := opts.Schedule.Validate(); err != nil {
+		return sim.Config{}, nil, fmt.Errorf("apps: %w", err)
+	}
+	if opts.MinPT <= 0 {
+		opts.MinPT = opts.PrimeTesters
+	}
+	if opts.MaxPT <= 0 {
+		opts.MaxPT = opts.PrimeTesters
+	}
+	if opts.Mode == 0 {
+		opts.Mode = sim.BatchAdaptive
+	}
+	if opts.SampleProbability <= 0 {
+		opts.SampleProbability = 0.05
+	}
+	if opts.Scaler.InactivityIntervals == 0 && opts.Scaler.Strategy == (core.StrategyConfig{}) {
+		opts.Scaler = core.DefaultScalerConfig()
+	}
+
+	g := model.NewJobGraph()
+	for _, v := range []model.JobVertex{
+		{Name: PTSource, Parallelism: opts.Sources, MinParallelism: opts.Sources, MaxParallelism: opts.Sources},
+		{Name: PTWorker, Parallelism: opts.PrimeTesters, MinParallelism: opts.MinPT, MaxParallelism: opts.MaxPT},
+		{Name: PTSink, Parallelism: opts.Sinks, MinParallelism: opts.Sinks, MaxParallelism: opts.Sinks},
+	} {
+		if err := g.AddVertex(v); err != nil {
+			return sim.Config{}, nil, fmt.Errorf("apps: %w", err)
+		}
+	}
+	if err := g.AddEdge(PTSource, PTWorker, model.PatternRoundRobin); err != nil {
+		return sim.Config{}, nil, fmt.Errorf("apps: %w", err)
+	}
+	if err := g.AddEdge(PTWorker, PTSink, model.PatternRoundRobin); err != nil {
+		return sim.Config{}, nil, fmt.Errorf("apps: %w", err)
+	}
+
+	probes := sim.NewProbeSet()
+	probe := probes.Probe(PrimeProbe)
+
+	var constraints []*model.Constraint
+	if opts.ConstraintBound > 0 {
+		seq, err := model.ParseSequence(g,
+			PTSource+"->"+PTWorker, PTWorker, PTWorker+"->"+PTSink)
+		if err != nil {
+			return sim.Config{}, nil, fmt.Errorf("apps: %w", err)
+		}
+		constraints = append(constraints, &model.Constraint{
+			Name:     "latency",
+			Sequence: seq,
+			Bound:    opts.ConstraintBound,
+			Window:   10 * time.Second,
+		})
+		probes.SetBound(PrimeProbe, opts.ConstraintBound.Seconds())
+	}
+
+	cfg := sim.Config{
+		Graph:       g,
+		Constraints: constraints,
+		Vertices: map[string]sim.VertexConfig{
+			PTSource: {
+				Source: &sim.SourceConfig{
+					Schedule: opts.Schedule,
+					EmitCost: 50e-6,
+					Emit: func(ctx *sim.TaskContext, now float64) {
+						ctx.Emit(0, sim.Item{
+							EmitTime: now,
+							Size:     primeItemBytes,
+							Key:      ctx.Rand().Uint64() | 1,
+							Sampled:  ctx.Sample(),
+						})
+					},
+				},
+				SampleProbability: opts.SampleProbability,
+			},
+			PTWorker: {NewBehavior: func(int) sim.Behavior { return primeTestBehavior{} }},
+			PTSink:   {NewBehavior: func(int) sim.Behavior { return primeSinkBehavior{probe: probe} }},
+		},
+		Edges: map[model.EdgeKey]sim.EdgeConfig{
+			{Source: PTSource, Target: PTWorker}: {Mode: opts.Mode},
+			{Source: PTWorker, Target: PTSink}:   {Mode: opts.Mode},
+		},
+		Costs:              primeCosts(),
+		Elastic:            opts.Elastic,
+		Scaler:             opts.Scaler,
+		WorkerNodes:        opts.WorkerNodes,
+		SlotsPerNode:       opts.SlotsPerNode,
+		QueueCapacityItems: opts.QueueCapacityItems,
+		Seed:               opts.Seed,
+	}
+	return cfg, probes, nil
+}
+
+// ScalePrimeTesterOptions divides all task counts and rates by factor so
+// cluster-scale experiments run at laptop cost while per-task load and
+// latency dynamics stay identical. Reported throughputs and task-hours
+// must be multiplied back by factor (the experiment harness does).
+func ScalePrimeTesterOptions(opts PrimeTesterOptions, factor int) PrimeTesterOptions {
+	if factor <= 1 {
+		return opts
+	}
+	div := func(v int) int {
+		if v <= 0 {
+			return v // unset fields keep their "use default" meaning
+		}
+		r := v / factor
+		if r < 1 {
+			r = 1
+		}
+		return r
+	}
+	opts.Sources = div(opts.Sources)
+	opts.Sinks = div(opts.Sinks)
+	opts.PrimeTesters = div(opts.PrimeTesters)
+	opts.MinPT = div(opts.MinPT)
+	opts.MaxPT = div(opts.MaxPT)
+	if opts.Schedule != nil {
+		s := *opts.Schedule
+		s.WarmUpRate /= float64(factor)
+		s.StepDelta /= float64(factor)
+		opts.Schedule = &s
+	}
+	opts.WorkerNodes = div(opts.WorkerNodes)
+	return opts
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned by Rebalance when even the maximum scale-out
+// cannot push the modeled queue waiting time below the limit. The
+// accompanying result is the best effort (maximum parallelism); per the
+// paper the user must be informed and provide more resources.
+var ErrInfeasible = errors.New("core: queue wait limit unreachable at maximum scale-out")
+
+// Rebalance implements Algorithm 1: choose new degrees of parallelism for
+// the sequence's vertices so that the total parallelism Σ pᵢ is minimized
+// subject to W_js(p₁, …, pₙ) ≤ wLimit and pᵢ ∈ [max(minᵢ, pMin[name]),
+// maxᵢ]. It runs a gradient descent with variable step size: in each
+// round the vertex with the steepest marginal decrease in queue waiting
+// time is scaled up until its marginal gain drops to the runner-up's
+// (P_Δ); the final round spends the remaining budget exactly (P_W).
+//
+// pMin carries minimum parallelisms imposed by earlier Rebalance calls on
+// overlapping constraints (Algorithm 2); it may be nil.
+//
+// The returned map always contains an entry for every sequence vertex.
+func Rebalance(sm *SequenceModel, wLimit float64, pMin map[string]int) (map[string]int, error) {
+	n := len(sm.Vertices)
+	result := make(map[string]int, n)
+	if n == 0 {
+		return result, nil
+	}
+
+	// Feasibility test at maximum scale-out (Algorithm 1, line 2).
+	pMax := sm.MaxParallelisms()
+	if w := sm.TotalWait(pMax); w > wLimit {
+		for i, vm := range sm.Vertices {
+			result[vm.Name] = pMax[i]
+		}
+		return result, ErrInfeasible
+	}
+
+	// Start from the lower bounds (line 3).
+	p := make([]int, n)
+	for i, vm := range sm.Vertices {
+		p[i] = vm.Min
+		if pm, ok := pMin[vm.Name]; ok && pm > p[i] {
+			p[i] = pm
+		}
+		if p[i] > vm.Max {
+			p[i] = vm.Max
+		}
+	}
+
+	for sm.TotalWait(p) > wLimit {
+		// C = {i | pᵢ < pᵢ^max}: vertices that can still grow.
+		var candidates []int
+		for i, vm := range sm.Vertices {
+			if p[i] < vm.Max {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			// Cannot happen after a successful feasibility test, but guard
+			// against floating-point drift.
+			break
+		}
+
+		// Pick c1 with the steepest (most negative) marginal and c2 with
+		// the second steepest; ties resolve to the smallest index.
+		c1, c2 := -1, -1
+		d1, d2 := math.Inf(1), math.Inf(1)
+		for _, i := range candidates {
+			d := sm.Vertices[i].Marginal(p[i])
+			if d < d1 {
+				c2, d2 = c1, d1
+				c1, d1 = i, d
+			} else if d < d2 {
+				c2, d2 = i, d
+			}
+		}
+
+		vm := sm.Vertices[c1]
+		// The remaining budget if only c1 grows: reaching W_c1 ≤ wBudget
+		// makes the whole sequence feasible.
+		wBudget := wLimit - sm.TotalWait(p) + vm.Wait(p[c1])
+		var target int
+		if c2 >= 0 {
+			// Scale c1 until its marginal gain matches the runner-up's
+			// current gain; next round the runner-up takes over. The jump
+			// is capped by P_W so it never overshoots the point where the
+			// queue-wait limit is already met (keeping the result on the
+			// minimal-candidate surface of Figure 5).
+			target = vm.StepToMarginal(d2)
+			if cap := vm.ParallelismForWait(wBudget); cap < target {
+				target = cap
+			}
+		} else {
+			// Last growable vertex: spend the remaining budget exactly.
+			target = vm.ParallelismForWait(wBudget)
+		}
+		if target <= p[c1] {
+			target = p[c1] + 1 // progress guard for marginal ties
+		}
+		if target > vm.Max {
+			target = vm.Max
+		}
+		p[c1] = target
+	}
+
+	for i, vm := range sm.Vertices {
+		result[vm.Name] = p[i]
+	}
+	return result, nil
+}
+
+// RebalanceSteps reports how many descent iterations Rebalance needs for a
+// given problem; it mirrors Rebalance but with unit (+1) steps when
+// unitSteps is true. It exists for the step-size ablation benchmark that
+// backs the paper's O(n log n · m) complexity discussion.
+func RebalanceSteps(sm *SequenceModel, wLimit float64, unitSteps bool) (steps int, feasible bool) {
+	n := len(sm.Vertices)
+	if n == 0 {
+		return 0, true
+	}
+	if sm.TotalWait(sm.MaxParallelisms()) > wLimit {
+		return 0, false
+	}
+	p := make([]int, n)
+	for i, vm := range sm.Vertices {
+		p[i] = vm.Min
+	}
+	for sm.TotalWait(p) > wLimit {
+		var candidates []int
+		for i, vm := range sm.Vertices {
+			if p[i] < vm.Max {
+				candidates = append(candidates, i)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		c1, c2 := -1, -1
+		d1, d2 := math.Inf(1), math.Inf(1)
+		for _, i := range candidates {
+			d := sm.Vertices[i].Marginal(p[i])
+			if d < d1 {
+				c2, d2 = c1, d1
+				c1, d1 = i, d
+			} else if d < d2 {
+				c2, d2 = i, d
+			}
+		}
+		vm := sm.Vertices[c1]
+		target := p[c1] + 1
+		if !unitSteps {
+			wBudget := wLimit - sm.TotalWait(p) + vm.Wait(p[c1])
+			if c2 >= 0 {
+				target = vm.StepToMarginal(d2)
+				if cap := vm.ParallelismForWait(wBudget); cap < target {
+					target = cap
+				}
+			} else {
+				target = vm.ParallelismForWait(wBudget)
+			}
+			if target <= p[c1] {
+				target = p[c1] + 1
+			}
+		}
+		if target > vm.Max {
+			target = vm.Max
+		}
+		p[c1] = target
+		steps++
+	}
+	return steps, true
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nephelix/internal/model"
+	"nephelix/internal/qos"
+)
+
+// StrategyConfig bundles the knobs of the reactive scaling strategy.
+type StrategyConfig struct {
+	Model      ModelOptions
+	Bottleneck BottleneckPolicy
+	Batching   qos.BatchingPolicy
+}
+
+// DefaultStrategyConfig returns the default strategy configuration. The
+// paper fixes the queue-wait share of the latency budget at 20% "for
+// simplicity"; on this substrate the calibrated per-item costs leave an
+// irreducible queue-wait floor slightly above that share, which would
+// park Rebalance in permanent infeasibility, so the default reserves
+// 30%. BenchmarkAblationQueueWaitFraction sweeps the fraction, including
+// the paper-literal 0.2.
+func DefaultStrategyConfig() StrategyConfig {
+	return StrategyConfig{
+		Model:      DefaultModelOptions(),
+		Bottleneck: DefaultBottleneckPolicy(),
+		Batching:   qos.BatchingPolicy{QueueWaitFraction: 0.3},
+	}
+}
+
+// ConstraintDecision records how ScaleReactively handled one constraint.
+type ConstraintDecision struct {
+	Constraint *model.Constraint
+	// Bottleneck is true when the ResolveBottlenecks path was taken.
+	Bottleneck bool
+	// Infeasible is true when Rebalance found the queue-wait limit
+	// unreachable even at maximum scale-out, or when bottlenecks could not
+	// be resolved by scaling out.
+	Infeasible bool
+	// Unresolvable lists bottleneck vertices already at maximum
+	// parallelism.
+	Unresolvable []string
+	// QueueWaitLimit is Ŵ_js (only set on the Rebalance path).
+	QueueWaitLimit float64
+	// Parallelism is the per-vertex choice made for this constraint.
+	Parallelism map[string]int
+	// Skipped is true when the summary did not cover the sequence yet.
+	Skipped bool
+}
+
+// Decision is the aggregate outcome of one ScaleReactively invocation.
+type Decision struct {
+	// Desired is the merged per-vertex parallelism (maximum over all
+	// constraints' choices).
+	Desired map[string]int
+	// Actions is the diff against the current parallelism, sorted by
+	// vertex name.
+	Actions []model.ScalingAction
+	// PerConstraint holds one entry per input constraint, in input order.
+	PerConstraint []ConstraintDecision
+}
+
+// HasScaleUp reports whether any action increases parallelism.
+func (d *Decision) HasScaleUp() bool {
+	for _, a := range d.Actions {
+		if a.IsScaleUp() {
+			return true
+		}
+	}
+	return false
+}
+
+// ScaleReactively implements Algorithm 2: for every latency constraint it
+// either resolves bottlenecks (last resort) or rebalances parallelism via
+// the latency model, then merges the per-constraint choices with a
+// per-vertex maximum so that overlapping constraints never undercut each
+// other. current maps every elastically relevant vertex to its current
+// parallelism.
+func ScaleReactively(cfg StrategyConfig, g *model.JobGraph, constraints []*model.Constraint, s *qos.Summary, current map[string]int) (*Decision, error) {
+	if len(constraints) == 0 {
+		return nil, errors.New("core: no constraints given")
+	}
+	d := &Decision{Desired: make(map[string]int, len(current))}
+
+	for _, c := range constraints {
+		cd := ConstraintDecision{Constraint: c}
+		if !s.Covers(c.Sequence) {
+			cd.Skipped = true
+			d.PerConstraint = append(d.PerConstraint, cd)
+			continue
+		}
+		if cfg.Bottleneck.HasBottleneck(g, c.Sequence, s) {
+			p, unresolvable := cfg.Bottleneck.ResolveBottlenecks(g, c.Sequence, s)
+			cd.Bottleneck = true
+			cd.Parallelism = p
+			cd.Unresolvable = unresolvable
+			cd.Infeasible = len(unresolvable) > 0
+		} else {
+			sm, err := BuildSequenceModel(g, c.Sequence, s, cfg.Model)
+			if err != nil {
+				return nil, fmt.Errorf("core: constraint %q: %w", c.Name, err)
+			}
+			// P_min guarantees this invocation cannot undercut choices
+			// made for earlier constraints (Algorithm 2, line 6).
+			pMin := make(map[string]int)
+			for _, name := range c.Sequence.Vertices() {
+				pMin[name] = g.Vertex(name).MinParallelism
+				if prev, ok := d.Desired[name]; ok && prev > pMin[name] {
+					pMin[name] = prev
+				}
+			}
+			cd.QueueWaitLimit = cfg.Batching.QueueWaitLimit(s, c)
+			p, err := Rebalance(sm, cd.QueueWaitLimit, pMin)
+			if err != nil {
+				if !errors.Is(err, ErrInfeasible) {
+					return nil, fmt.Errorf("core: constraint %q: %w", c.Name, err)
+				}
+				cd.Infeasible = true
+				// Algorithm 1 returns maximum scale-out here. Infeasibility
+				// is usually transient, though: a burst inflates the
+				// measured waits and thereby the fitted model (the same
+				// measurement distortion Section IV-E describes for
+				// bottlenecks), so jumping straight to p_max overspends
+				// dramatically. Mirror ResolveBottlenecks instead: double
+				// the current parallelism per adjustment round until the
+				// model becomes feasible again (or p_max is reached).
+				for _, name := range c.Sequence.Vertices() {
+					jv := g.Vertex(name)
+					cur, ok := current[name]
+					if !ok || cur <= 0 {
+						cur = jv.Parallelism
+					}
+					target := jv.ClampParallelism(2 * cur)
+					if target < pMin[name] {
+						target = pMin[name]
+					}
+					p[name] = target
+				}
+			}
+			cd.Parallelism = p
+		}
+		for name, p := range cd.Parallelism {
+			if p > d.Desired[name] {
+				d.Desired[name] = p
+			}
+		}
+		d.PerConstraint = append(d.PerConstraint, cd)
+	}
+
+	d.Actions = model.DiffParallelism(current, d.Desired)
+	return d, nil
+}
+
+// ScalerConfig configures the ElasticScaler driver.
+type ScalerConfig struct {
+	Strategy StrategyConfig
+	// InactivityIntervals is the number of adjustment intervals the scaler
+	// stays inactive after a scale-up, so that new TCP connections and
+	// measurements settle (Section V uses 2). Scale-downs do not trigger
+	// an inactivity phase.
+	InactivityIntervals int
+	// DeadBandFraction suppresses scaling actions whose relative change
+	// is below this fraction of the current parallelism (0 disables).
+	// The paper names reducing the number of scaling actions as future
+	// work; a dead band is the simplest such mechanism — small
+	// oscillations of the optimizer's choice stop translating into task
+	// churn. Scale-ups that resolve bottlenecks are never suppressed.
+	DeadBandFraction float64
+	// MaxScaleDownFraction bounds how much of a vertex's parallelism a
+	// single decision may remove (0 < f ≤ 1; default 0.3). Large
+	// instantaneous scale-downs re-concentrate per-task load and arrival
+	// burstiness so abruptly that the fitted model (which assumes c_A is
+	// unaffected by parallelism — a limitation the paper explicitly
+	// defers) can flip straight back to maximum scale-out; incremental
+	// scale-downs keep the measurement loop stable. Set to 1 for the
+	// paper-literal behavior.
+	MaxScaleDownFraction float64
+}
+
+// DefaultScalerConfig returns the paper's evaluation configuration with
+// incremental scale-downs.
+func DefaultScalerConfig() ScalerConfig {
+	return ScalerConfig{
+		Strategy:             DefaultStrategyConfig(),
+		InactivityIntervals:  2,
+		MaxScaleDownFraction: 0.5,
+	}
+}
+
+// ElasticScaler is the master-node driver: once per adjustment interval it
+// receives the fresh global summary and decides scaling actions, honoring
+// the post-scale-up inactivity phase. It is not safe for concurrent use.
+type ElasticScaler struct {
+	cfg         ScalerConfig
+	graph       *model.JobGraph
+	constraints []*model.Constraint
+	cooldown    int
+	// counters for reports
+	decisions  int
+	scaleUps   int
+	scaleDowns int
+}
+
+// NewElasticScaler creates a scaler for the given job and constraints.
+func NewElasticScaler(cfg ScalerConfig, g *model.JobGraph, constraints []*model.Constraint) (*ElasticScaler, error) {
+	if len(constraints) == 0 {
+		return nil, errors.New("core: elastic scaler needs at least one constraint")
+	}
+	for _, c := range constraints {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	if cfg.InactivityIntervals < 0 {
+		cfg.InactivityIntervals = 0
+	}
+	return &ElasticScaler{cfg: cfg, graph: g, constraints: constraints}, nil
+}
+
+// Decide consumes one fresh global summary and returns the scaling actions
+// to apply, or nil during an inactivity phase (or when nothing changes).
+// current maps vertices to their present parallelism.
+func (e *ElasticScaler) Decide(s *qos.Summary, current map[string]int) (*Decision, error) {
+	if e.cooldown > 0 {
+		e.cooldown--
+		return nil, nil
+	}
+	d, err := ScaleReactively(e.cfg.Strategy, e.graph, e.constraints, s, current)
+	if err != nil {
+		return nil, err
+	}
+	e.applyDeadBand(d, current)
+	e.clampScaleDowns(d, current)
+	e.decisions++
+	for _, a := range d.Actions {
+		if a.IsScaleUp() {
+			e.scaleUps++
+		} else {
+			e.scaleDowns++
+		}
+	}
+	if d.HasScaleUp() {
+		e.cooldown = e.cfg.InactivityIntervals
+	}
+	return d, nil
+}
+
+// applyDeadBand drops desired changes smaller than the configured
+// fraction of the current parallelism, except bottleneck-driven
+// scale-ups.
+func (e *ElasticScaler) applyDeadBand(d *Decision, current map[string]int) {
+	f := e.cfg.DeadBandFraction
+	if f <= 0 {
+		return
+	}
+	bottleneck := make(map[string]bool)
+	for _, cd := range d.PerConstraint {
+		if !cd.Bottleneck {
+			continue
+		}
+		for name := range cd.Parallelism {
+			bottleneck[name] = true
+		}
+	}
+	changed := false
+	for name, to := range d.Desired {
+		from, ok := current[name]
+		if !ok || to == from {
+			continue
+		}
+		if to > from && bottleneck[name] {
+			continue // never delay bottleneck resolution
+		}
+		delta := to - from
+		if delta < 0 {
+			delta = -delta
+		}
+		if float64(delta) < f*float64(from) {
+			d.Desired[name] = from
+			changed = true
+		}
+	}
+	if changed {
+		d.Actions = model.DiffParallelism(current, d.Desired)
+	}
+}
+
+// clampScaleDowns limits per-decision parallelism reductions to the
+// configured fraction and rebuilds the action diff.
+func (e *ElasticScaler) clampScaleDowns(d *Decision, current map[string]int) {
+	f := e.cfg.MaxScaleDownFraction
+	if f <= 0 || f >= 1 {
+		return
+	}
+	changed := false
+	for name, to := range d.Desired {
+		from, ok := current[name]
+		if !ok || to >= from {
+			continue
+		}
+		maxDown := int(math.Ceil(f * float64(from)))
+		if maxDown < 1 {
+			maxDown = 1
+		}
+		if from-to > maxDown {
+			d.Desired[name] = from - maxDown
+			changed = true
+		}
+	}
+	if changed {
+		d.Actions = model.DiffParallelism(current, d.Desired)
+	}
+}
+
+// Stats returns (decisions, scale-ups, scale-downs) counters for
+// reporting.
+func (e *ElasticScaler) Stats() (decisions, ups, downs int) {
+	return e.decisions, e.scaleUps, e.scaleDowns
+}

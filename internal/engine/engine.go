@@ -1,0 +1,754 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nephelix/internal/cluster"
+	"nephelix/internal/core"
+	"nephelix/internal/model"
+	"nephelix/internal/probe"
+	"nephelix/internal/qos"
+)
+
+// Config tunes the engine. Zero values take the defaults noted per field;
+// the intervals default to laptop-friendly values rather than the paper's
+// cluster setup (1 s / 5 s), so short example runs still get several
+// adjustment rounds.
+type Config struct {
+	// Workers and SlotsPerWorker bound the scheduler's slot pool
+	// (defaults 16 × 4).
+	Workers        int
+	SlotsPerWorker int
+	// MeasurementInterval and AdjustmentInterval pace the QoS plane
+	// (defaults 250 ms and 1 s).
+	MeasurementInterval time.Duration
+	AdjustmentInterval  time.Duration
+	// Elastic enables the reactive scaler.
+	Elastic bool
+	// Scaler configures the elastic scaler (DefaultScalerConfig when
+	// zero).
+	Scaler core.ScalerConfig
+	// QueueCapacity bounds each task's input queue in batches
+	// (default 64); full queues exert backpressure.
+	QueueCapacity int
+	// MaxBatchRecords caps output batches (default 256).
+	MaxBatchRecords int
+	// FlushTick is the granularity of deadline flushing (default 1 ms).
+	FlushTick time.Duration
+	// DrainIdle is how long a draining task waits for stragglers before
+	// exiting (default 300 ms).
+	DrainIdle time.Duration
+	// RecordInterval paces the execution's time series (Execution.Rows);
+	// 0 disables recording.
+	RecordInterval time.Duration
+	// Seed drives task-local randomness.
+	Seed int64
+}
+
+// withDefaults fills zero values.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 16
+	}
+	if c.SlotsPerWorker <= 0 {
+		c.SlotsPerWorker = 4
+	}
+	if c.MeasurementInterval <= 0 {
+		c.MeasurementInterval = 250 * time.Millisecond
+	}
+	if c.AdjustmentInterval <= 0 {
+		c.AdjustmentInterval = time.Second
+	}
+	if c.QueueCapacity <= 0 {
+		c.QueueCapacity = 64
+	}
+	if c.MaxBatchRecords <= 0 {
+		c.MaxBatchRecords = 256
+	}
+	if c.FlushTick <= 0 {
+		c.FlushTick = time.Millisecond
+	}
+	if c.DrainIdle <= 0 {
+		c.DrainIdle = 300 * time.Millisecond
+	}
+	if c.Scaler.Strategy == (core.StrategyConfig{}) {
+		c.Scaler = core.DefaultScalerConfig()
+		c.Scaler.InactivityIntervals = 2
+	}
+	return c
+}
+
+// Engine creates executions from job specs.
+type Engine struct {
+	cfg Config
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// Submit validates the spec, builds the runtime graph, starts all task
+// goroutines and the master loop, and returns the running execution.
+// probes may be nil.
+func (e *Engine) Submit(spec *JobSpec, probes *probe.ProbeSet) (*Execution, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	if probes == nil {
+		probes = probe.NewProbeSet()
+	}
+	rm, err := cluster.NewResourceManager(e.cfg.Workers, e.cfg.SlotsPerWorker)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	ex := &execution{
+		cfg:       e.cfg,
+		spec:      spec,
+		probes:    probes,
+		rm:        rm,
+		scheduler: cluster.NewScheduler(rm),
+		manager:   qos.NewManager(managerConfigFor(e.cfg)),
+		vertices:  make(map[string]*vertexState),
+		edgePos:   make(map[model.EdgeKey]int),
+		modes:     make(map[string]model.LatencyMode),
+		deadlines: make(map[model.EdgeKey]time.Duration),
+		reports:   make(chan any, 4096),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+	}
+	ex.controller = qos.NewBatchingController(e.cfg.Scaler.Strategy.Batching)
+	ex.controller.SetElastic(e.cfg.Elastic)
+	if e.cfg.Elastic {
+		if len(spec.constraints) == 0 {
+			return nil, fmt.Errorf("engine: elastic execution needs at least one constraint")
+		}
+		sc, err := core.NewElasticScaler(e.cfg.Scaler, spec.graph, spec.constraints)
+		if err != nil {
+			return nil, err
+		}
+		ex.scaler = sc
+	}
+	if err := ex.bootstrap(); err != nil {
+		return nil, err
+	}
+	ex.start = time.Now()
+	ex.meter.Advance(0, 0, 0)
+	ex.launchAll()
+	go ex.masterLoop()
+	return &Execution{ex: ex}, nil
+}
+
+// managerConfigFor derives the QoS history length from the intervals.
+func managerConfigFor(cfg Config) qos.ManagerConfig {
+	m := qos.DefaultManagerConfig()
+	if n := int(cfg.AdjustmentInterval / cfg.MeasurementInterval); n >= 1 {
+		m.HistoryLength = n
+	}
+	return m
+}
+
+// vertexState groups a vertex's tasks (master-owned; count holds the
+// number of live, i.e. non-draining, tasks and is read lock-free by
+// source tasks).
+type vertexState struct {
+	jv        *model.JobVertex
+	tasks     []*task
+	nextIndex int
+	count     atomic.Int32
+}
+
+// refreshCount recomputes the live-task count (caller holds ex.mu).
+func (vs *vertexState) refreshCount() {
+	n := int32(0)
+	for _, t := range vs.tasks {
+		if !t.draining.Load() {
+			n++
+		}
+	}
+	vs.count.Store(n)
+}
+
+// execution is the runtime of one submitted job.
+type execution struct {
+	cfg  Config
+	spec *JobSpec
+
+	start time.Time
+
+	// mu guards vertices' task slices, deadlines and the scheduler/meter.
+	mu        sync.Mutex
+	vertices  map[string]*vertexState
+	order     []string
+	scheduler *cluster.Scheduler
+	rm        *cluster.ResourceManager
+	meter     cluster.UsageMeter
+	retired   int64 // busyNs of exited tasks
+
+	edgePos map[model.EdgeKey]int
+	modes   map[string]model.LatencyMode
+
+	deadlines  map[model.EdgeKey]time.Duration
+	controller *qos.BatchingController
+	manager    *qos.Manager
+	scaler     *core.ElasticScaler
+
+	probes  *probe.ProbeSet
+	reports chan any
+
+	emitted        atomic.Int64
+	droppedReports atomic.Int64
+	scaleUps       atomic.Int64
+	scaleDowns     atomic.Int64
+
+	lastSummary atomic.Pointer[qos.Summary]
+
+	rowsMu sync.Mutex
+	rows   []Row
+
+	wg          sync.WaitGroup
+	sourcesLeft atomic.Int32
+	stopOnce    sync.Once
+	stopCh      chan struct{}
+	doneCh      chan struct{}
+}
+
+// Row is one record-interval sample of a live execution's time series.
+type Row struct {
+	// Elapsed is the time since execution start.
+	Elapsed time.Duration
+	// Probes holds per-probe (count, mean, p95) for the interval.
+	Probes map[string]ProbeSample
+	// Parallelism is the live task count per vertex.
+	Parallelism map[string]int
+	// Emitted is the cumulative source-emission count.
+	Emitted int64
+}
+
+// ProbeSample is one probe's interval measurement.
+type ProbeSample struct {
+	Count int64
+	Mean  float64
+	P95   float64
+}
+
+// report messages from tasks to the master.
+type taskReportMsg struct{ report qos.TaskReport }
+type channelReportMsg struct{ report qos.ChannelReport }
+
+// offerReport enqueues a report without ever blocking a task.
+func (ex *execution) offerReport(msg any) {
+	select {
+	case ex.reports <- msg:
+	default:
+		ex.droppedReports.Add(1)
+	}
+}
+
+// currentDeadline returns the master's current deadline for an edge.
+func (ex *execution) currentDeadline(edge model.EdgeKey) (time.Duration, bool) {
+	d, ok := ex.deadlines[edge]
+	return d, ok
+}
+
+// latencyMode returns a vertex's latency mode.
+func (ex *execution) latencyMode(vertex string) model.LatencyMode { return ex.modes[vertex] }
+
+// parallelismOf returns a vertex's live task count (lock-free).
+func (ex *execution) parallelismOf(vertex string) int {
+	if vs, ok := ex.vertices[vertex]; ok {
+		return int(vs.count.Load())
+	}
+	return 0
+}
+
+// bootstrap builds the initial tasks and wiring (pre-start, single
+// goroutine).
+func (ex *execution) bootstrap() error {
+	g := ex.spec.graph
+	for _, jv := range g.Vertices() {
+		ex.modes[jv.Name] = jv.LatencyMode
+		for pos, ek := range g.OutEdges(jv.Name) {
+			ex.edgePos[ek] = pos
+		}
+		ex.vertices[jv.Name] = &vertexState{jv: jv}
+		ex.order = append(ex.order, jv.Name)
+	}
+	for _, name := range ex.order {
+		vs := ex.vertices[name]
+		for i := 0; i < vs.jv.Parallelism; i++ {
+			if _, err := ex.createTask(name); err != nil {
+				return err
+			}
+		}
+	}
+	// Wire all edges producer × consumer.
+	for _, e := range g.Edges() {
+		pos := ex.edgePos[e.Key()]
+		for _, p := range ex.vertices[e.Source].tasks {
+			for _, c := range ex.vertices[e.Target].tasks {
+				p.gates[pos].addConsumer(&channelRef{
+					id: model.ChannelID{Edge: e.Key(), Producer: p.id.Index, Consumer: c.id.Index},
+					to: c,
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// createTask builds and places one task (caller holds no lock during
+// bootstrap; scaling calls hold ex.mu).
+func (ex *execution) createTask(vertex string) (*task, error) {
+	vs := ex.vertices[vertex]
+	id := model.TaskID{Vertex: vertex, Index: vs.nextIndex}
+	vs.nextIndex++
+	var udf UDF
+	var src *SourceSpec
+	if factory, ok := ex.spec.udfs[vertex]; ok {
+		udf = factory(id.Index)
+	} else {
+		s := ex.spec.sources[vertex]
+		src = &s
+	}
+	if _, err := ex.scheduler.Place(id); err != nil {
+		return nil, fmt.Errorf("engine: placing %s: %w", id, err)
+	}
+	t := newTask(ex, id, udf, src, ex.cfg.Seed+int64(len(vs.tasks))*7919+int64(vs.nextIndex))
+	vs.tasks = append(vs.tasks, t)
+	vs.refreshCount()
+	return t, nil
+}
+
+// launchAll starts every bootstrapped task.
+func (ex *execution) launchAll() {
+	for _, name := range ex.order {
+		for _, t := range ex.vertices[name].tasks {
+			ex.launch(t)
+		}
+	}
+}
+
+// launch starts one task goroutine.
+func (ex *execution) launch(t *task) {
+	ex.wg.Add(1)
+	if t.src != nil {
+		ex.sourcesLeft.Add(1)
+		go t.runSource()
+		return
+	}
+	go t.run()
+}
+
+// taskDone is each task goroutine's exit hook.
+func (ex *execution) taskDone(t *task) {
+	ex.mu.Lock()
+	ex.accountUsageLocked()
+	ex.retired += t.busyNs.Load()
+	// Unplace frees the slot; a nil map hit can only mean a double exit,
+	// which the registry removal below would also surface.
+	_ = ex.scheduler.Unplace(t.id)
+	vs := ex.vertices[t.id.Vertex]
+	for i, tt := range vs.tasks {
+		if tt == t {
+			vs.tasks = append(vs.tasks[:i], vs.tasks[i+1:]...)
+			break
+		}
+	}
+	vs.refreshCount()
+	ex.mu.Unlock()
+	if t.src != nil {
+		ex.sourcesLeft.Add(-1)
+	}
+	ex.wg.Done()
+}
+
+// accountUsageLocked integrates task usage (caller holds ex.mu).
+func (ex *execution) accountUsageLocked() {
+	total := 0
+	for _, name := range ex.order {
+		total += len(ex.vertices[name].tasks)
+	}
+	ex.meter.Advance(time.Since(ex.start).Seconds(), total, ex.rm.Leased())
+}
+
+// masterLoop runs the control plane until shutdown.
+func (ex *execution) masterLoop() {
+	adjust := time.NewTicker(ex.cfg.AdjustmentInterval)
+	defer adjust.Stop()
+	quiesce := time.NewTicker(ex.cfg.MeasurementInterval)
+	defer quiesce.Stop()
+	var recordC <-chan time.Time
+	if ex.cfg.RecordInterval > 0 {
+		record := time.NewTicker(ex.cfg.RecordInterval)
+		defer record.Stop()
+		recordC = record.C
+	}
+
+	var lastProcessed int64
+	stableRounds := 0
+	stopping := false
+
+	finish := func() {
+		ex.stopAllTasks()
+		ex.wg.Wait()
+		ex.drainReports()
+		ex.mu.Lock()
+		ex.accountUsageLocked()
+		ex.mu.Unlock()
+		close(ex.doneCh)
+	}
+
+	for {
+		select {
+		case msg := <-ex.reports:
+			ex.consumeReport(msg)
+		case <-adjust.C:
+			ex.adjustTick()
+		case <-recordC:
+			ex.recordTick()
+		case <-quiesce.C:
+			if !stopping {
+				continue
+			}
+			cur := ex.totalProcessed()
+			if cur == lastProcessed {
+				stableRounds++
+			} else {
+				stableRounds = 0
+			}
+			lastProcessed = cur
+			if stableRounds >= 3 {
+				finish()
+				return
+			}
+		case <-ex.stopCh:
+			stopping = true
+			// Force path: stop sources immediately; workers drain via the
+			// quiescence checks above.
+			ex.stopSources()
+		}
+		if !stopping && ex.sourcesLeft.Load() == 0 {
+			stopping = true
+		}
+	}
+}
+
+// consumeReport feeds one task/channel report into the manager.
+func (ex *execution) consumeReport(msg any) {
+	switch m := msg.(type) {
+	case taskReportMsg:
+		ex.manager.ReportTask(m.report)
+	case channelReportMsg:
+		ex.manager.ReportChannel(m.report)
+	}
+}
+
+// drainReports empties the report queue after tasks exited.
+func (ex *execution) drainReports() {
+	for {
+		select {
+		case msg := <-ex.reports:
+			ex.consumeReport(msg)
+		default:
+			return
+		}
+	}
+}
+
+// totalProcessed sums all live tasks' processed counters.
+func (ex *execution) totalProcessed() int64 {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	var total int64
+	for _, name := range ex.order {
+		for _, t := range ex.vertices[name].tasks {
+			total += t.processed.Load()
+		}
+	}
+	return total
+}
+
+// recordTick appends one time-series row.
+func (ex *execution) recordTick() {
+	row := Row{
+		Elapsed:     time.Since(ex.start),
+		Probes:      make(map[string]ProbeSample),
+		Parallelism: make(map[string]int),
+		Emitted:     ex.emitted.Load(),
+	}
+	for _, name := range ex.probes.Names() {
+		count, mean, p95 := ex.probes.Probe(name).RecSnapshot()
+		row.Probes[name] = ProbeSample{Count: count, Mean: mean, P95: p95}
+	}
+	ex.mu.Lock()
+	for _, name := range ex.order {
+		row.Parallelism[name] = int(ex.vertices[name].count.Load())
+	}
+	ex.mu.Unlock()
+	ex.rowsMu.Lock()
+	ex.rows = append(ex.rows, row)
+	ex.rowsMu.Unlock()
+}
+
+// adjustTick runs one adjustment interval: summary, batching deadlines,
+// scaling.
+func (ex *execution) adjustTick() {
+	for _, name := range ex.probes.Names() {
+		ex.probes.Probe(name).AdjSnapshot()
+	}
+	// Current parallelism counts only live (non-draining) tasks: draining
+	// tasks left the routing tables and must not be double-counted by
+	// consecutive scale-down decisions.
+	ex.mu.Lock()
+	par := make(map[string]int, len(ex.order))
+	for _, name := range ex.order {
+		par[name] = int(ex.vertices[name].count.Load())
+	}
+	ex.mu.Unlock()
+
+	summary := qos.MergePartials(par, ex.manager.PartialSummary())
+	ex.lastSummary.Store(summary)
+
+	if len(ex.spec.constraints) > 0 {
+		deadlines := ex.controller.Update(summary, ex.spec.constraints)
+		ex.applyDeadlines(deadlines)
+	}
+
+	if ex.scaler == nil {
+		return
+	}
+	decision, err := ex.scaler.Decide(summary, par)
+	if err != nil || decision == nil {
+		return
+	}
+	for _, a := range decision.Actions {
+		if d := a.Delta(); d > 0 {
+			ex.scaleUp(a.Vertex, d)
+			ex.scaleUps.Add(1)
+		} else if d < 0 {
+			ex.scaleDown(a.Vertex, -d)
+			ex.scaleDowns.Add(1)
+		}
+	}
+}
+
+// applyDeadlines publishes new flush deadlines to all gates.
+func (ex *execution) applyDeadlines(deadlines map[model.EdgeKey]float64) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	for key, dl := range deadlines {
+		ex.deadlines[key] = time.Duration(dl * float64(time.Second))
+	}
+	for _, name := range ex.order {
+		for _, t := range ex.vertices[name].tasks {
+			for _, g := range t.gates {
+				if ex.spec.edgeBatching(g.edge) != BatchingAdaptive {
+					continue
+				}
+				if d, ok := ex.deadlines[g.edge]; ok {
+					g.setDeadline(d)
+				}
+			}
+		}
+	}
+}
+
+// scaleUp adds n tasks to a vertex and wires them in.
+func (ex *execution) scaleUp(vertex string, n int) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.accountUsageLocked()
+	g := ex.spec.graph
+	for i := 0; i < n; i++ {
+		t, err := ex.createTask(vertex)
+		if err != nil {
+			return // pool exhausted; keep what we have
+		}
+		// Inbound wiring from live upstream producers.
+		for _, ek := range g.InEdges(vertex) {
+			pos := ex.edgePos[ek]
+			for _, p := range ex.vertices[ek.Source].tasks {
+				if p == t || p.draining.Load() {
+					continue
+				}
+				p.gates[pos].addConsumer(&channelRef{
+					id: model.ChannelID{Edge: ek, Producer: p.id.Index, Consumer: t.id.Index},
+					to: t,
+				})
+			}
+		}
+		// Outbound wiring to live downstream consumers.
+		for _, ek := range g.OutEdges(vertex) {
+			pos := ex.edgePos[ek]
+			for _, c := range ex.vertices[ek.Target].tasks {
+				if c.draining.Load() {
+					continue
+				}
+				t.gates[pos].addConsumer(&channelRef{
+					id: model.ChannelID{Edge: ek, Producer: t.id.Index, Consumer: c.id.Index},
+					to: c,
+				})
+			}
+		}
+		ex.launch(t)
+	}
+}
+
+// scaleDown marks the newest n tasks of a vertex as draining and removes
+// them from all routing tables; they exit on their own after draining.
+func (ex *execution) scaleDown(vertex string, n int) {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	vs := ex.vertices[vertex]
+	g := ex.spec.graph
+	live := make([]*task, 0, len(vs.tasks))
+	for _, t := range vs.tasks {
+		if !t.draining.Load() {
+			live = append(live, t)
+		}
+	}
+	// Never drain below the vertex's minimum parallelism (and never to
+	// zero): the routing tables must always have a live consumer.
+	floor := vs.jv.MinParallelism
+	if floor < 1 {
+		floor = 1
+	}
+	for i := 0; i < n && len(live) > floor; i++ {
+		t := live[len(live)-1]
+		live = live[:len(live)-1]
+		// Unroute from upstream producers.
+		for _, ek := range g.InEdges(vertex) {
+			pos := ex.edgePos[ek]
+			for _, p := range ex.vertices[ek.Source].tasks {
+				p.gates[pos].removeConsumer(t)
+			}
+		}
+		t.draining.Store(true)
+	}
+	vs.refreshCount()
+}
+
+// stopSources asks all source tasks to finish.
+func (ex *execution) stopSources() {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	for _, name := range ex.order {
+		for _, t := range ex.vertices[name].tasks {
+			if t.src != nil {
+				t.draining.Store(true)
+			}
+		}
+	}
+}
+
+// stopAllTasks force-quits every remaining task.
+func (ex *execution) stopAllTasks() {
+	ex.mu.Lock()
+	tasks := make([]*task, 0)
+	for _, name := range ex.order {
+		tasks = append(tasks, ex.vertices[name].tasks...)
+	}
+	ex.mu.Unlock()
+	for _, t := range tasks {
+		select {
+		case <-t.quit:
+		default:
+			close(t.quit)
+		}
+	}
+}
+
+// Execution is the public handle on a submitted job.
+type Execution struct {
+	ex *execution
+}
+
+// Wait blocks until the job finishes (sources exhausted and pipelines
+// drained), Stop is called, or the context is cancelled.
+func (e *Execution) Wait(ctx context.Context) error {
+	select {
+	case <-e.ex.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stop initiates a graceful shutdown: sources stop, pipelines drain.
+func (e *Execution) Stop() {
+	e.ex.stopOnce.Do(func() { close(e.ex.stopCh) })
+}
+
+// Done reports whether the execution has finished.
+func (e *Execution) Done() bool {
+	select {
+	case <-e.ex.doneCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Parallelism returns a vertex's current live task count.
+func (e *Execution) Parallelism(vertex string) int { return e.ex.parallelismOf(vertex) }
+
+// Emitted returns the total number of source emissions.
+func (e *Execution) Emitted() int64 { return e.ex.emitted.Load() }
+
+// TaskHours returns the resource consumption so far.
+func (e *Execution) TaskHours() float64 {
+	e.ex.mu.Lock()
+	defer e.ex.mu.Unlock()
+	e.ex.accountUsageLocked()
+	return e.ex.meter.TaskHours()
+}
+
+// Summary returns the latest global QoS summary (nil before the first
+// adjustment interval).
+func (e *Execution) Summary() *qos.Summary { return e.ex.lastSummary.Load() }
+
+// ScaleEvents returns the numbers of scale-up and scale-down actions.
+func (e *Execution) ScaleEvents() (ups, downs int64) {
+	return e.ex.scaleUps.Load(), e.ex.scaleDowns.Load()
+}
+
+// DroppedReports returns how many QoS reports were shed under load
+// (diagnostics; sheds accuracy, never data).
+func (e *Execution) DroppedReports() int64 { return e.ex.droppedReports.Load() }
+
+// DroppedNoConsumer returns the process-wide count of records dropped
+// because a gate had no consumers; zero in healthy executions.
+func (e *Execution) DroppedNoConsumer() int64 { return dropNoConsumer.Load() }
+
+// Rows returns the recorded time series (requires Config.RecordInterval).
+func (e *Execution) Rows() []Row {
+	e.ex.rowsMu.Lock()
+	defer e.ex.rowsMu.Unlock()
+	out := make([]Row, len(e.ex.rows))
+	copy(out, e.ex.rows)
+	return out
+}
+
+// CPUUtilization returns the mean task CPU (UDF) utilization so far:
+// busy time over allocated task time.
+func (e *Execution) CPUUtilization() float64 {
+	ex := e.ex
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	ex.accountUsageLocked()
+	busy := float64(ex.retired)
+	for _, name := range ex.order {
+		for _, t := range ex.vertices[name].tasks {
+			busy += float64(t.busyNs.Load())
+		}
+	}
+	if ts := ex.meter.TaskSeconds(); ts > 0 {
+		return busy / 1e9 / ts
+	}
+	return 0
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"nephelix/internal/model"
+)
+
+// channelRef is one producer→consumer path of a job edge.
+type channelRef struct {
+	id model.ChannelID
+	to *task
+}
+
+// gate is a task's output side for one outgoing job edge: a producer-side
+// batch buffer flushed to the next consumer in rotation (round-robin), to
+// all consumers (broadcast), or per key partition (key-based, one buffer
+// per consumer). The buffer is owned by the producing task goroutine; the
+// consumer list and the flush deadline are updated by the master and read
+// via atomics.
+type gate struct {
+	edge    model.EdgeKey
+	pos     int
+	pattern model.WiringPattern
+
+	// consumers is the active consumer snapshot (copy-on-write by the
+	// master).
+	consumers atomic.Pointer[[]*channelRef]
+	// deadlineNs is the adaptive flush deadline (0 = instant flush,
+	// math.MaxInt64 = size-only).
+	deadlineNs atomic.Int64
+
+	// consumerGen counts consumer-set changes (master-incremented); the
+	// producer re-draws its rotation offset when it observes a change.
+	consumerGen atomic.Int64
+
+	// Producer-goroutine-owned state.
+	rng      *rand.Rand
+	rr       int
+	rrGen    int64
+	rrInit   bool
+	buf      []Record
+	oldest   time.Time
+	perKey   map[*channelRef][]Record
+	perKeyT  map[*channelRef]time.Time
+	producer int
+	maxBatch int
+}
+
+// newGate builds a gate for a producer task.
+func newGate(edge model.EdgeKey, pos, producer int, pattern model.WiringPattern, maxBatch int) *gate {
+	g := &gate{
+		edge:     edge,
+		pos:      pos,
+		pattern:  pattern,
+		producer: producer,
+		maxBatch: maxBatch,
+		rng:      rand.New(rand.NewSource(int64(producer)*2654435761 + int64(pos) + 1)),
+	}
+	if pattern == model.PatternKeyBased {
+		g.perKey = make(map[*channelRef][]Record)
+		g.perKeyT = make(map[*channelRef]time.Time)
+	}
+	empty := make([]*channelRef, 0)
+	g.consumers.Store(&empty)
+	return g
+}
+
+// deadline returns the current flush deadline.
+func (g *gate) deadline() time.Duration {
+	return time.Duration(g.deadlineNs.Load())
+}
+
+// setDeadline publishes a new flush deadline (clamped at 0).
+func (g *gate) setDeadline(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	g.deadlineNs.Store(int64(d))
+}
+
+// snapshot returns the current consumer list.
+func (g *gate) snapshot() []*channelRef { return *g.consumers.Load() }
+
+// addConsumer appends a consumer (master only).
+func (g *gate) addConsumer(ref *channelRef) {
+	cur := g.snapshot()
+	next := make([]*channelRef, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = ref
+	g.consumers.Store(&next)
+	g.consumerGen.Add(1)
+}
+
+// removeConsumer drops a consumer task's channel (master only).
+func (g *gate) removeConsumer(t *task) {
+	cur := g.snapshot()
+	next := make([]*channelRef, 0, len(cur))
+	for _, ref := range cur {
+		if ref.to != t {
+			next = append(next, ref)
+		}
+	}
+	g.consumers.Store(&next)
+	g.consumerGen.Add(1)
+}
+
+// push buffers a record and returns batches due for shipping (producer
+// goroutine only). The caller ships them (possibly blocking).
+func (g *gate) push(rec Record, now time.Time) []shipment {
+	consumers := g.snapshot()
+	if len(consumers) == 0 {
+		dropNoConsumer.Add(1)
+		return nil
+	}
+	if g.pattern == model.PatternKeyBased {
+		ref := consumers[int(mix64(rec.Key)%uint64(len(consumers)))]
+		buf := g.perKey[ref]
+		if len(buf) == 0 {
+			g.perKeyT[ref] = now
+		}
+		buf = append(buf, rec)
+		g.perKey[ref] = buf
+		if g.deadline() <= 0 || len(buf) >= g.maxBatch {
+			return g.takeKeyed(ref, now)
+		}
+		return nil
+	}
+	if len(g.buf) == 0 {
+		g.oldest = now
+	}
+	g.buf = append(g.buf, rec)
+	if g.deadline() <= 0 || len(g.buf) >= g.maxBatch {
+		return g.takeShared(now)
+	}
+	return nil
+}
+
+// shipment is one batch addressed to one consumer.
+type shipment struct {
+	ref *channelRef
+	b   batch
+}
+
+// takeShared drains the shared buffer into shipments per the pattern.
+func (g *gate) takeShared(now time.Time) []shipment {
+	if len(g.buf) == 0 {
+		return nil
+	}
+	consumers := g.snapshot()
+	if len(consumers) == 0 {
+		dropNoConsumer.Add(int64(len(g.buf)))
+		g.buf = nil
+		return nil
+	}
+	items := g.buf
+	g.buf = nil
+	b := batch{items: items, producer: g.producer, edgePos: g.pos, oldestBuf: g.oldest, shipped: now}
+	if g.pattern == model.PatternBroadcast {
+		out := make([]shipment, 0, len(consumers))
+		for i, ref := range consumers {
+			bb := b
+			if i < len(consumers)-1 {
+				cp := make([]Record, len(items))
+				copy(cp, items)
+				bb.items = cp
+			}
+			out = append(out, shipment{ref: ref, b: bb})
+		}
+		return out
+	}
+	if gen := g.consumerGen.Load(); !g.rrInit || gen != g.rrGen {
+		// (Re-)start the rotation at a random offset on every consumer-
+		// set change so producer sweeps never phase-lock (see the
+		// simulator's gate for the full rationale).
+		g.rr = g.rng.Intn(len(consumers))
+		g.rrInit = true
+		g.rrGen = gen
+	}
+	if g.rr >= len(consumers) {
+		g.rr = 0
+	}
+	ref := consumers[g.rr]
+	g.rr = (g.rr + 1) % len(consumers)
+	return []shipment{{ref: ref, b: b}}
+}
+
+// takeKeyed drains one key-pinned buffer.
+func (g *gate) takeKeyed(ref *channelRef, now time.Time) []shipment {
+	buf := g.perKey[ref]
+	if len(buf) == 0 {
+		return nil
+	}
+	delete(g.perKey, ref)
+	oldest := g.perKeyT[ref]
+	delete(g.perKeyT, ref)
+	return []shipment{{ref: ref, b: batch{items: buf, producer: g.producer, edgePos: g.pos, oldestBuf: oldest, shipped: now}}}
+}
+
+// due returns all shipments whose oldest buffered record has exceeded the
+// deadline (called from the producer's flush tick).
+func (g *gate) due(now time.Time) []shipment {
+	dl := g.deadline()
+	var out []shipment
+	if len(g.buf) > 0 && now.Sub(g.oldest) >= dl {
+		out = append(out, g.takeShared(now)...)
+	}
+	for ref, buf := range g.perKey {
+		if len(buf) > 0 && now.Sub(g.perKeyT[ref]) >= dl {
+			out = append(out, g.takeKeyed(ref, now)...)
+		}
+	}
+	return out
+}
+
+// drainAll force-flushes everything buffered (task shutdown).
+func (g *gate) drainAll(now time.Time) []shipment {
+	out := g.takeShared(now)
+	for ref := range g.perKey {
+		out = append(out, g.takeKeyed(ref, now)...)
+	}
+	return out
+}
+
+// mix64 is a splitmix64 finalizer used for key partitioning.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// dropNoConsumer counts records dropped for lack of consumers. In a
+// healthy execution this stays zero (scale-down keeps at least the
+// vertex minimum routed); it is process-global because gates have no
+// back-pointer to their execution, and is exposed via
+// Execution.DroppedNoConsumer for tests and diagnostics.
+var dropNoConsumer atomic.Int64
+
+// noDeadline marks size-only flushing.
+const noDeadline = time.Duration(math.MaxInt64)

@@ -1,0 +1,44 @@
+// Package engine is the live, goroutine-based streaming runtime: the
+// Nephele-style execution layer that runs real UDFs over real data with
+// the same control plane the paper describes — QoS reporters and
+// managers, adaptive output batching, and the reactive elastic scaler of
+// internal/core. Each task is a goroutine; channels are bounded Go
+// channels of record batches, so backpressure arises naturally; the
+// master goroutine adjusts flush deadlines and degrees of parallelism
+// once per adjustment interval.
+//
+// The engine targets laptop-scale executions (examples, integration
+// tests, small deployments). Cluster-scale reproductions of the paper's
+// figures run on the virtual-time simulator in internal/sim instead; both
+// layers share the model, QoS, probe and core packages, so the control
+// plane under test is identical.
+package engine
+
+import "time"
+
+// Record is one data item flowing through the job.
+type Record struct {
+	// Key selects the partition under key-based wiring and is available
+	// to UDFs as a lightweight identifier.
+	Key uint64
+	// Value is the payload. UDFs agree on the concrete types per edge.
+	Value any
+
+	// EmitTime is the wall-clock time the record (or its oldest sampled
+	// ancestor) entered the constrained sequence; zero when unsampled.
+	// End-to-end probes measure against it.
+	EmitTime time.Time
+	// Sampled marks records participating in latency probing.
+	Sampled bool
+}
+
+// batch is the unit shipped between tasks: records that left one
+// producer's output gate together.
+type batch struct {
+	items []Record
+	// from identifies the producing channel for QoS attribution.
+	producer  int
+	edgePos   int
+	oldestBuf time.Time
+	shipped   time.Time
+}

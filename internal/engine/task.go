@@ -1,0 +1,308 @@
+package engine
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"nephelix/internal/model"
+	"nephelix/internal/qos"
+)
+
+// task is one running task: a goroutine with a bounded input channel,
+// output gates and QoS reporters.
+type task struct {
+	id  model.TaskID
+	ex  *execution
+	udf UDF
+	src *SourceSpec
+
+	in    chan batch
+	gates []*gate
+	rng   *rand.Rand
+
+	// draining is set by the master after the task left all routing
+	// tables; the task exits once its input has been idle for DrainIdle.
+	draining atomic.Bool
+	// quit force-stops the task (execution shutdown).
+	quit chan struct{}
+
+	// processed counts handled records (quiescence detection).
+	processed atomic.Int64
+
+	// Reporters are owned by the task goroutine; interval aggregates are
+	// sent to the master over ex.reports.
+	reporter  *qos.TaskReporter
+	chanReps  map[model.ChannelID]*qos.ChannelReporter
+	lastFlush time.Time
+
+	// rwPending holds consume times of sampled records awaiting the next
+	// write (read-write task latency).
+	rwPending []time.Time
+
+	// busyNs integrates UDF time for utilization reporting.
+	busyNs atomic.Int64
+
+	ctx Context
+}
+
+// newTask builds a task (wiring happens in the execution).
+func newTask(ex *execution, id model.TaskID, udf UDF, src *SourceSpec, seed int64) *task {
+	t := &task{
+		id:       id,
+		ex:       ex,
+		udf:      udf,
+		src:      src,
+		in:       make(chan batch, ex.cfg.QueueCapacity),
+		rng:      rand.New(rand.NewSource(seed)),
+		quit:     make(chan struct{}),
+		reporter: qos.NewTaskReporter(id),
+		chanReps: make(map[model.ChannelID]*qos.ChannelReporter),
+	}
+	t.ctx = Context{t: t}
+	outs := ex.spec.graph.OutEdges(id.Vertex)
+	t.gates = make([]*gate, len(outs))
+	for pos, ek := range outs {
+		g := newGate(ek, pos, id.Index, ex.spec.graph.Edge(ek).Pattern, ex.cfg.MaxBatchRecords)
+		switch ex.spec.edgeBatching(ek) {
+		case BatchingFixed:
+			g.setDeadline(noDeadline)
+		case BatchingInstant:
+			// Stays at 0; applyDeadlines never touches non-adaptive edges.
+		default:
+			if d, ok := ex.currentDeadline(ek); ok {
+				g.setDeadline(d)
+			}
+		}
+		t.gates[pos] = g
+	}
+	return t
+}
+
+// emit routes a record into the edgeIdx-th gate, shipping due batches.
+// It runs on the task goroutine and may block under backpressure.
+func (t *task) emit(edgeIdx int, rec Record) {
+	if edgeIdx < 0 || edgeIdx >= len(t.gates) {
+		return
+	}
+	now := time.Now()
+	// A write completes read-write latency measurement.
+	if len(t.rwPending) > 0 {
+		for _, tc := range t.rwPending {
+			t.reporter.RecordTaskLatency(now.Sub(tc).Seconds())
+		}
+		t.rwPending = t.rwPending[:0]
+	}
+	t.ship(t.gates[edgeIdx].push(rec, now))
+}
+
+// ship delivers shipments, blocking on full consumer queues
+// (backpressure). Shipments to draining consumers are dropped by the
+// consumer-side idle exit, never lost while the consumer runs.
+func (t *task) ship(shipments []shipment) {
+	for _, s := range shipments {
+		select {
+		case s.ref.to.in <- s.b:
+		case <-t.quit:
+			return
+		}
+	}
+}
+
+// flushDue ships batches whose deadline expired.
+func (t *task) flushDue(now time.Time) {
+	for _, g := range t.gates {
+		t.ship(g.due(now))
+	}
+}
+
+// drainGates force-flushes all buffers (shutdown).
+func (t *task) drainGates(now time.Time) {
+	for _, g := range t.gates {
+		t.ship(g.drainAll(now))
+	}
+}
+
+// maybeReport flushes interval reports to the master.
+func (t *task) maybeReport(now time.Time) {
+	if now.Sub(t.lastFlush) < t.ex.cfg.MeasurementInterval {
+		return
+	}
+	t.lastFlush = now
+	t.ex.offerReport(taskReportMsg{report: t.reporter.Flush()})
+	for id, cr := range t.chanReps {
+		rep := cr.Flush()
+		if !rep.Empty() {
+			t.ex.offerReport(channelReportMsg{report: rep})
+		}
+		_ = id
+	}
+}
+
+// handleBatch processes one delivered batch.
+func (t *task) handleBatch(b batch) {
+	now := time.Now()
+	// Channel-level QoS: one sample per batch against the oldest record.
+	chID := model.ChannelID{Edge: t.inEdge(b), Producer: b.producer, Consumer: t.id.Index}
+	cr := t.chanReps[chID]
+	if cr == nil {
+		cr = qos.NewChannelReporter(chID)
+		t.chanReps[chID] = cr
+	}
+	cr.RecordTransfer(now.Sub(b.oldestBuf).Seconds(), b.shipped.Sub(b.oldestBuf).Seconds())
+
+	rw := t.ex.latencyMode(t.id.Vertex) == model.LatencyReadWrite
+	for _, rec := range b.items {
+		t.reporter.RecordArrival(nowSeconds(time.Now()))
+		start := time.Now()
+		t.udf.Process(&t.ctx, rec)
+		service := time.Since(start)
+		t.busyNs.Add(int64(service))
+		t.reporter.RecordService(service.Seconds())
+		if rw {
+			if rec.Sampled && len(t.rwPending) < 64 {
+				t.rwPending = append(t.rwPending, start)
+			}
+		} else {
+			t.reporter.RecordTaskLatency(service.Seconds())
+		}
+		t.processed.Add(1)
+	}
+}
+
+// inEdge reconstructs the job edge a batch arrived on from its edge
+// position at the producer. The producer's vertex is found via the
+// consumer's inbound edges: position pos of the producing vertex's
+// out-edges; since a consumer can receive from several vertices, the
+// batch's edge is identified by matching the consumer vertex.
+func (t *task) inEdge(b batch) model.EdgeKey {
+	for _, ek := range t.ex.spec.graph.InEdges(t.id.Vertex) {
+		if t.ex.edgePos[ek] == b.edgePos && ek.Target == t.id.Vertex {
+			return ek
+		}
+	}
+	return model.EdgeKey{Target: t.id.Vertex}
+}
+
+// run is the worker-task main loop.
+func (t *task) run() {
+	defer t.ex.taskDone(t)
+	ticker := time.NewTicker(t.ex.cfg.FlushTick)
+	defer ticker.Stop()
+
+	var timerC <-chan time.Time
+	var timerTicker *time.Ticker
+	if tu, ok := t.udf.(TimerUDF); ok {
+		timerTicker = time.NewTicker(tu.TimerInterval())
+		timerC = timerTicker.C
+		defer timerTicker.Stop()
+	}
+
+	lastItem := time.Now()
+	for {
+		select {
+		case b := <-t.in:
+			t.handleBatch(b)
+			lastItem = time.Now()
+		case <-timerC:
+			t.udf.(TimerUDF).OnTimer(&t.ctx)
+		case now := <-ticker.C:
+			t.flushDue(now)
+			t.maybeReport(now)
+			if t.draining.Load() && now.Sub(lastItem) > t.ex.cfg.DrainIdle {
+				// Drain leftovers that raced the idle check, flush gates,
+				// and exit.
+				for {
+					select {
+					case b := <-t.in:
+						t.handleBatch(b)
+					default:
+						t.drainGates(time.Now())
+						return
+					}
+				}
+			}
+		case <-t.quit:
+			return
+		}
+	}
+}
+
+// runSource is the source-task main loop: schedule-paced emission.
+func (t *task) runSource() {
+	defer t.ex.taskDone(t)
+	ticker := time.NewTicker(t.ex.cfg.FlushTick)
+	defer ticker.Stop()
+
+	start := t.ex.start
+	sched := t.src.Schedule
+	next := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+
+	for {
+		select {
+		case <-t.quit:
+			return
+		case now := <-ticker.C:
+			t.flushDue(now)
+			t.maybeReport(now)
+		case <-timer.C:
+			now := time.Now()
+			elapsed := now.Sub(start).Seconds()
+			if t.draining.Load() {
+				t.drainGates(now)
+				return
+			}
+			rate := sched.Rate(elapsed)
+			if rate <= 0 {
+				if elapsed >= sched.Duration() {
+					t.drainGates(now)
+					return
+				}
+				timer.Reset(50 * time.Millisecond)
+				continue
+			}
+			emitStart := time.Now()
+			t.reporter.RecordArrival(nowSeconds(emitStart))
+			t.src.Emit(&t.ctx)
+			emitCost := time.Since(emitStart)
+			t.busyNs.Add(int64(emitCost))
+			t.reporter.RecordService(emitCost.Seconds())
+			t.reporter.RecordTaskLatency(emitCost.Seconds())
+			t.ex.emitted.Add(1)
+			t.processed.Add(1)
+			n := t.ex.parallelismOf(t.id.Vertex)
+			if n < 1 {
+				n = 1
+			}
+			interval := time.Duration(float64(n) / rate * float64(time.Second))
+			// ±10% jitter keeps source tasks out of lockstep.
+			interval = time.Duration(float64(interval) * (0.9 + 0.2*t.rng.Float64()))
+			next = next.Add(interval)
+			if wait := time.Until(next); wait > 0 {
+				timer.Reset(wait)
+			} else {
+				// Backpressure or saturation pushed us behind schedule;
+				// do not try to catch up a backlog.
+				next = now
+				timer.Reset(0)
+			}
+		}
+	}
+}
+
+// Sample reports whether the next source emission should be tagged for
+// latency probing.
+func (c *Context) Sample() bool {
+	p := 0.1
+	if c.t.src != nil && c.t.src.SampleProbability > 0 {
+		p = c.t.src.SampleProbability
+	}
+	return c.t.rng.Float64() < p
+}
+
+// nowSeconds converts a wall-clock time to float64 seconds.
+func nowSeconds(t time.Time) float64 {
+	return float64(t.UnixNano()) / 1e9
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"nephelix/internal/sim"
+)
+
+// WriteRowsCSV renders a simulation time series as CSV: one line per
+// record interval with probe latencies (mean and p95, seconds),
+// per-source attempted/effective rates (items/s, scaled by rateScale to
+// undo topology scaling), per-vertex parallelism and resource columns.
+func WriteRowsCSV(w io.Writer, rows []sim.Row, rateScale float64) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if rateScale <= 0 {
+		rateScale = 1
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	probeNames := sortedKeys(rows[0].Probes)
+	sourceNames := sortedKeys(rows[0].Attempted)
+	vertexNames := sortedKeys(rows[0].Parallelism)
+
+	header := []string{"time_s"}
+	for _, p := range probeNames {
+		header = append(header, p+"_mean_s", p+"_p95_s", p+"_count")
+	}
+	for _, s := range sourceNames {
+		header = append(header, s+"_attempted_per_s", s+"_effective_per_s")
+	}
+	for _, v := range vertexNames {
+		header = append(header, v+"_parallelism")
+	}
+	header = append(header, "total_tasks", "leased_nodes", "cpu_utilization")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("experiments: writing csv header: %w", err)
+	}
+
+	for _, r := range rows {
+		rec := []string{fmtF(r.Time)}
+		for _, p := range probeNames {
+			s := r.Probes[p]
+			rec = append(rec, fmtF(s.Mean), fmtF(s.P95), strconv.FormatInt(s.Count, 10))
+		}
+		for _, s := range sourceNames {
+			rec = append(rec, fmtF(r.Attempted[s]*rateScale), fmtF(r.Effective[s]*rateScale))
+		}
+		for _, v := range vertexNames {
+			rec = append(rec, strconv.Itoa(r.Parallelism[v]))
+		}
+		rec = append(rec, strconv.Itoa(r.TotalTasks), strconv.Itoa(r.LeasedNodes), fmtF(r.CPUUtilization))
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: writing csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// fmtF renders a float compactly.
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 7, 64) }
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

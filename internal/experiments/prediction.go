@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nephelix/internal/apps"
+	"nephelix/internal/core"
+	"nephelix/internal/model"
+	"nephelix/internal/sim"
+	"nephelix/internal/workload"
+)
+
+// The paper closes with "for future work we intend to focus on improving
+// the prediction quality of our latency model". This experiment
+// quantifies that quality: at every adjustment interval the fitted model
+// predicts the queue waiting time for the parallelism it just chose; two
+// adjustment intervals later (after the inactivity window) the measured
+// wait is compared against that prediction.
+
+// PredictionSample is one prediction/outcome pair.
+type PredictionSample struct {
+	// At is the decision time (seconds).
+	At float64
+	// FromP and ToP are the parallelism before and after the decision.
+	FromP, ToP int
+	// Predicted is W_model(ToP) at decision time; Measured the wait
+	// observed after the change settled.
+	Predicted float64
+	Measured  float64
+}
+
+// PredictionQualityResult summarizes the model's prediction error.
+type PredictionQualityResult struct {
+	Samples []PredictionSample
+	// MedianAbsRelError is the median of |measured−predicted|/measured.
+	MedianAbsRelError float64
+	// WithinFactor2 is the fraction of predictions within 2× of the
+	// measurement (both directions).
+	WithinFactor2 float64
+	Checks        CheckList
+}
+
+// abs returns |x|.
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// RunPredictionQuality runs an elastic PrimeTester under a step load and
+// scores every scaling decision's wait prediction.
+func RunPredictionQuality(scale int, seed int64) (*PredictionQualityResult, error) {
+	if scale <= 0 {
+		scale = 8
+	}
+	opts := apps.ScalePrimeTesterOptions(apps.PrimeTesterOptions{
+		Sources: 32, Sinks: 32, PrimeTesters: 64, MinPT: 1, MaxPT: 520,
+		Schedule: &workload.StepSchedule{
+			WarmUpRate: 10000, StepDelta: 10000, IncrementSteps: 4, StepDuration: 25,
+		},
+		Mode:            sim.BatchAdaptive,
+		ConstraintBound: 20 * time.Millisecond,
+		Elastic:         true,
+		WorkerNodes:     130,
+		SlotsPerNode:    5,
+		Seed:            seed,
+	}, scale)
+	cfg, probes, err := apps.BuildPrimeTester(opts)
+	if err != nil {
+		return nil, err
+	}
+
+	edge := model.EdgeKey{Source: apps.PTSource, Target: apps.PTWorker}
+	seq := cfg.Constraints[0].Sequence
+	type pending struct {
+		sample PredictionSample
+		due    int // adjustment rounds until scoring
+	}
+	var open []*pending
+	res := &PredictionQualityResult{}
+	modelOpts := core.DefaultModelOptions()
+
+	cfg.OnAdjust = func(info sim.AdjustmentInfo) {
+		// Score matured predictions against the current measurement.
+		es, okE := info.Summary.Edge(edge)
+		vs, okV := info.Summary.Vertex(apps.PTWorker)
+		keep := open[:0]
+		for _, p := range open {
+			if p.due > 0 {
+				p.due--
+				keep = append(keep, p)
+				continue
+			}
+			// Score if the parallelism is still (approximately) the one
+			// the prediction was made for; the scaler nudges by a task
+			// or two between rounds.
+			tol := p.sample.ToP / 10
+			if tol < 1 {
+				tol = 1
+			}
+			if okE && okV && abs(vs.Parallelism-p.sample.ToP) <= tol {
+				p.sample.Measured = es.QueueWait()
+				res.Samples = append(res.Samples, p.sample)
+			}
+			// Parallelism moved on (or no data): discard silently.
+		}
+		open = keep
+
+		// Register a new prediction when the scaler acted.
+		if info.Decision == nil || len(info.Decision.Actions) == 0 || !okV {
+			return
+		}
+		for _, a := range info.Decision.Actions {
+			if a.Vertex != apps.PTWorker {
+				continue
+			}
+			jv := cfg.Graph.Vertex(apps.PTWorker)
+			vm, err := core.BuildVertexModel(jv, seq, info.Summary, modelOpts)
+			if err != nil {
+				continue
+			}
+			pred := vm.Wait(a.To)
+			if math.IsInf(pred, 1) {
+				continue
+			}
+			open = append(open, &pending{
+				sample: PredictionSample{At: info.Now, FromP: a.From, ToP: a.To, Predicted: pred},
+				due:    3, // inactivity window + one settling interval
+			})
+		}
+	}
+
+	s, err := sim.New(cfg, probes)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.Run(); err != nil {
+		return nil, err
+	}
+
+	if len(res.Samples) == 0 {
+		return nil, fmt.Errorf("experiments: no scoreable predictions (no stable scaling actions)")
+	}
+	var relErrs []float64
+	within := 0
+	for _, sm := range res.Samples {
+		if sm.Measured <= 0 {
+			continue
+		}
+		relErrs = append(relErrs, math.Abs(sm.Measured-sm.Predicted)/sm.Measured)
+		ratio := sm.Predicted / sm.Measured
+		if ratio >= 0.5 && ratio <= 2 {
+			within++
+		}
+	}
+	if len(relErrs) > 0 {
+		sort.Float64s(relErrs)
+		res.MedianAbsRelError = relErrs[len(relErrs)/2]
+		res.WithinFactor2 = float64(within) / float64(len(relErrs))
+	}
+
+	res.Checks.Add("predictions carry signal",
+		"model is 'a rough predictor' (Section IV-C2)",
+		fmt.Sprintf("median |rel err| %.2f over %d predictions", res.MedianAbsRelError, len(res.Samples)),
+		res.MedianAbsRelError < 2.0)
+	res.Checks.Add("half of predictions within 2x",
+		"fit quality sufficient to rank scaling choices",
+		fmt.Sprintf("%.0f%% within 2x", res.WithinFactor2*100),
+		res.WithinFactor2 >= 0.4)
+	return res, nil
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirBelowCapacity(t *testing.T) {
+	r := NewReservoir(10, rand.New(rand.NewSource(1)))
+	for i := 1; i <= 5; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 5 || r.Count() != 5 {
+		t.Fatalf("Len=%d Count=%d, want 5/5", r.Len(), r.Count())
+	}
+	if got := r.Percentile(1); got != 5 {
+		t.Errorf("max percentile: got %v, want 5", got)
+	}
+	if got := r.Percentile(0); got != 1 {
+		t.Errorf("min percentile: got %v, want 1", got)
+	}
+	if got := r.Mean(); got != 3 {
+		t.Errorf("mean: got %v, want 3", got)
+	}
+}
+
+func TestReservoirCapacityBound(t *testing.T) {
+	r := NewReservoir(16, rand.New(rand.NewSource(2)))
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 16 {
+		t.Errorf("Len: got %d, want 16", r.Len())
+	}
+	if r.Count() != 10000 {
+		t.Errorf("Count: got %d, want 10000", r.Count())
+	}
+}
+
+func TestReservoirUniformity(t *testing.T) {
+	// Feed 0..9999; the sample mean must be close to the stream mean.
+	r := NewReservoir(512, rand.New(rand.NewSource(3)))
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	streamMean := 4999.5
+	if got := r.Mean(); math.Abs(got-streamMean) > 700 {
+		t.Errorf("sample mean %v too far from stream mean %v", got, streamMean)
+	}
+	// Median of the uniform stream is ~5000.
+	if got := r.Percentile(0.5); math.Abs(got-5000) > 1200 {
+		t.Errorf("sample median %v too far from 5000", got)
+	}
+}
+
+func TestReservoirEmpty(t *testing.T) {
+	r := NewReservoir(4, rand.New(rand.NewSource(4)))
+	if r.Percentile(0.5) != 0 || r.Mean() != 0 {
+		t.Error("empty reservoir must report zeros")
+	}
+}
+
+func TestReservoirReset(t *testing.T) {
+	r := NewReservoir(4, rand.New(rand.NewSource(5)))
+	r.Add(1)
+	r.Reset()
+	if r.Len() != 0 || r.Count() != 0 {
+		t.Error("Reset did not clear reservoir")
+	}
+}
+
+func TestReservoirZeroCapacity(t *testing.T) {
+	r := NewReservoir(0, rand.New(rand.NewSource(6)))
+	r.Add(7)
+	if r.Len() != 1 {
+		t.Errorf("capacity clamped to 1: Len got %d", r.Len())
+	}
+}
+
+func TestPercentileOf(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{name: "empty", samples: nil, q: 0.5, want: 0},
+		{name: "single", samples: []float64{3}, q: 0.95, want: 3},
+		{name: "median interpolated", samples: []float64{1, 2, 3, 4}, q: 0.5, want: 2.5},
+		{name: "p95 of 1..100", samples: seq(1, 100), q: 0.95, want: 95.05},
+		{name: "unsorted input", samples: []float64{4, 1, 3, 2}, q: 0.5, want: 2.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := PercentileOf(tt.samples, tt.q); !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("PercentileOf(%v, %v): got %v, want %v", tt.samples, tt.q, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPercentileOfDoesNotMutate(t *testing.T) {
+	samples := []float64{3, 1, 2}
+	_ = PercentileOf(samples, 0.5)
+	if samples[0] != 3 || samples[1] != 1 || samples[2] != 2 {
+		t.Error("PercentileOf mutated its input")
+	}
+}
+
+func seq(lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+func TestSamplerProbabilities(t *testing.T) {
+	tests := []struct {
+		p       float64
+		wantLo  int
+		wantHi  int
+		samples int
+	}{
+		{p: 0, wantLo: 0, wantHi: 0, samples: 10000},
+		{p: 1, wantLo: 10000, wantHi: 10000, samples: 10000},
+		{p: 0.1, wantLo: 700, wantHi: 1300, samples: 10000},
+	}
+	for _, tt := range tests {
+		s := NewSampler(tt.p, rand.New(rand.NewSource(7)))
+		n := 0
+		for i := 0; i < tt.samples; i++ {
+			if s.Sample() {
+				n++
+			}
+		}
+		if n < tt.wantLo || n > tt.wantHi {
+			t.Errorf("p=%v: sampled %d of %d, want in [%d, %d]", tt.p, n, tt.samples, tt.wantLo, tt.wantHi)
+		}
+	}
+}
+
+func TestSamplerClamping(t *testing.T) {
+	s := NewSampler(2.0, rand.New(rand.NewSource(8)))
+	for i := 0; i < 100; i++ {
+		if !s.Sample() {
+			t.Fatal("p clamped to 1 must always sample")
+		}
+	}
+	s = NewSampler(-1, rand.New(rand.NewSource(9)))
+	for i := 0; i < 100; i++ {
+		if s.Sample() {
+			t.Fatal("p clamped to 0 must never sample")
+		}
+	}
+}
+
+func TestStridedSampler(t *testing.T) {
+	s := NewStridedSampler(3)
+	var picks []int
+	for i := 1; i <= 9; i++ {
+		if s.Sample() {
+			picks = append(picks, i)
+		}
+	}
+	if len(picks) != 3 || picks[0] != 3 || picks[1] != 6 || picks[2] != 9 {
+		t.Errorf("stride 3 picks: got %v, want [3 6 9]", picks)
+	}
+	s = NewStridedSampler(0) // clamps to 1
+	if !s.Sample() {
+		t.Error("stride clamped to 1 must always sample")
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import "math/rand"
+
+// Sampler decides which data items participate in latency measurement.
+// The paper reduces measurement overhead by taking a random sample of the
+// data item latencies within each measurement period; Sampler implements
+// that Bernoulli sampling with a configurable probability.
+type Sampler struct {
+	prob uint32 // sampling threshold out of 2^32
+	rng  *rand.Rand
+}
+
+// NewSampler creates a sampler that selects each item independently with
+// probability p (clamped to [0, 1]).
+func NewSampler(p float64, rng *rand.Rand) *Sampler {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &Sampler{prob: uint32(p * float64(1<<32-1)), rng: rng}
+}
+
+// Sample reports whether the next item should be sampled.
+func (s *Sampler) Sample() bool {
+	if s.prob == 0 {
+		return false
+	}
+	return s.rng.Uint32() <= s.prob
+}
+
+// StridedSampler samples every n-th item deterministically. It is cheaper
+// than Bernoulli sampling on hot paths and used by the engine's task
+// loops.
+type StridedSampler struct {
+	stride  int
+	counter int
+}
+
+// NewStridedSampler creates a sampler selecting every stride-th item
+// (stride >= 1; stride 1 samples everything).
+func NewStridedSampler(stride int) *StridedSampler {
+	if stride < 1 {
+		stride = 1
+	}
+	return &StridedSampler{stride: stride}
+}
+
+// Sample reports whether the next item should be sampled.
+func (s *StridedSampler) Sample() bool {
+	s.counter++
+	if s.counter >= s.stride {
+		s.counter = 0
+		return true
+	}
+	return false
+}

@@ -1,0 +1,73 @@
+// Package metrics provides the statistical primitives used by the QoS
+// measurement plane: numerically stable running moments (Welford),
+// reservoir sampling for percentile estimation, interval accumulators and
+// rate meters. All values are plain float64s; the QoS layer decides units
+// (seconds for latencies, items/second for rates).
+package metrics
+
+import "math"
+
+// Welford accumulates count, mean and variance of a stream of samples
+// using Welford's numerically stable online algorithm. The zero value is
+// ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of samples seen.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// samples.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// CV returns the coefficient of variation c_X = StdDev(X)/Mean(X)
+// (Table I of the paper), or 0 when the mean is 0.
+func (w *Welford) CV() float64 {
+	if w.mean == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Abs(w.mean)
+}
+
+// Reset clears all accumulated state.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Merge combines another accumulator into this one using the parallel
+// variance formula (Chan et al.). It is used to merge partial QoS
+// summaries into the global summary.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	w.m2 += o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += delta * float64(o.n) / float64(n)
+	w.n = n
+}

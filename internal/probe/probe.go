@@ -1,0 +1,159 @@
+// Package probe provides end-to-end latency probes shared by the
+// simulator and the live engine: applications record ground-truth
+// sequence latencies at sequence ends; the runtime snapshots them per
+// adjustment interval (constraint-fulfillment accounting) and per record
+// interval (time series).
+package probe
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"nephelix/internal/metrics"
+)
+
+// Probe collects ground-truth end-to-end latencies for one constrained
+// sequence. Application behaviors call Record at the sequence end; the
+// simulator snapshots the probe per adjustment interval (constraint
+// fulfillment accounting, paper's "% of adjustment intervals") and per
+// record interval (time-series rows).
+type Probe struct {
+	// Name identifies the probe (typically the constraint name).
+	Name string
+	// BoundSeconds is the constraint bound ℓ used for fulfillment
+	// accounting; 0 disables it.
+	BoundSeconds float64
+
+	mu sync.Mutex
+
+	adj metrics.Welford // per adjustment interval
+
+	rec    metrics.Welford    // per record interval
+	recRes *metrics.Reservoir // per record interval (p95)
+
+	// fulfillment counters over adjustment intervals with data.
+	intervals int
+	fulfilled int
+
+	total metrics.Welford
+	all   *metrics.Reservoir
+}
+
+// Record adds one end-to-end latency observation (seconds).
+func (p *Probe) Record(latency float64) {
+	if latency < 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.adj.Add(latency)
+	p.rec.Add(latency)
+	p.recRes.Add(latency)
+	p.total.Add(latency)
+	p.all.Add(latency)
+}
+
+// AdjSnapshot closes one adjustment interval: it updates the fulfillment
+// counters and resets the adjustment accumulator.
+func (p *Probe) AdjSnapshot() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.adj.Count() == 0 {
+		return // no data items this interval; not counted
+	}
+	p.intervals++
+	if p.BoundSeconds <= 0 || p.adj.Mean() <= p.BoundSeconds {
+		p.fulfilled++
+	}
+	p.adj.Reset()
+}
+
+// RecSnapshot closes one record interval and returns (count, mean, p95).
+func (p *Probe) RecSnapshot() (count int64, mean, p95 float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	count, mean = p.rec.Count(), p.rec.Mean()
+	p95 = p.recRes.Percentile(0.95)
+	p.rec.Reset()
+	p.recRes.Reset()
+	return count, mean, p95
+}
+
+// Fulfillment returns the fraction of adjustment intervals whose mean
+// latency met the bound, and the number of counted intervals.
+func (p *Probe) Fulfillment() (fraction float64, intervals int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.intervals == 0 {
+		return 0, 0
+	}
+	return float64(p.fulfilled) / float64(p.intervals), p.intervals
+}
+
+// TotalMean returns the run-wide mean latency.
+func (p *Probe) TotalMean() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total.Mean()
+}
+
+// TotalP95 returns the run-wide 95th percentile latency (from a large
+// uniform sample).
+func (p *Probe) TotalP95() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.all.Percentile(0.95)
+}
+
+// TotalCount returns the number of recorded observations.
+func (p *Probe) TotalCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total.Count()
+}
+
+// ProbeSet is a named collection of probes created by the application
+// before the simulation starts, so behaviors can close over them.
+type ProbeSet struct {
+	mu     sync.Mutex
+	probes map[string]*Probe
+}
+
+// NewProbeSet returns an empty probe set.
+func NewProbeSet() *ProbeSet {
+	return &ProbeSet{probes: make(map[string]*Probe)}
+}
+
+// Probe returns (creating on first use) the named probe.
+func (ps *ProbeSet) Probe(name string) *Probe {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, ok := ps.probes[name]
+	if !ok {
+		p = &Probe{
+			Name:   name,
+			recRes: metrics.NewReservoir(4096, rand.New(rand.NewSource(int64(len(ps.probes))+1))),
+			all:    metrics.NewReservoir(16384, rand.New(rand.NewSource(int64(len(ps.probes))+100))),
+		}
+		ps.probes[name] = p
+	}
+	return p
+}
+
+// SetBound attaches a constraint bound to the named probe.
+func (ps *ProbeSet) SetBound(name string, boundSeconds float64) {
+	ps.Probe(name).BoundSeconds = boundSeconds
+}
+
+// Names returns the probe names in sorted order.
+func (ps *ProbeSet) Names() []string {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	names := make([]string, 0, len(ps.probes))
+	for n := range ps.probes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,159 @@
+package qos
+
+import (
+	"time"
+
+	"nephelix/internal/model"
+)
+
+// secondsOf converts a duration to float64 seconds.
+func secondsOf(d time.Duration) float64 { return d.Seconds() }
+
+// SequenceLatencyEstimate is the decomposition of a constrained sequence's
+// estimated mean latency, derived from a summary.
+type SequenceLatencyEstimate struct {
+	// TaskLatency is Σ l_jv over the sequence's vertices.
+	TaskLatency float64
+	// QueueWait is Σ (l_je − obl_je) over the sequence's edges: the time
+	// spent waiting in input queues.
+	QueueWait float64
+	// BatchLatency is Σ obl_je: the time spent in output buffers due to
+	// (deliberate) batching.
+	BatchLatency float64
+}
+
+// Total returns the estimated mean sequence latency.
+func (e SequenceLatencyEstimate) Total() float64 {
+	return e.TaskLatency + e.QueueWait + e.BatchLatency
+}
+
+// EstimateSequenceLatency decomposes the sequence's mean latency using the
+// summary's vertex and edge entries. The second return value is false if
+// the summary does not cover the whole sequence.
+func EstimateSequenceLatency(s *Summary, seq *model.Sequence) (SequenceLatencyEstimate, bool) {
+	var est SequenceLatencyEstimate
+	if !s.Covers(seq) {
+		return est, false
+	}
+	for _, name := range seq.Vertices() {
+		est.TaskLatency += s.Vertices[name].TaskLatency
+	}
+	for _, key := range seq.Edges() {
+		e := s.Edges[key]
+		est.QueueWait += e.QueueWait()
+		est.BatchLatency += e.OutputBatchLatency
+	}
+	return est, true
+}
+
+// ConstraintStatus is the result of checking one latency constraint
+// against a summary.
+type ConstraintStatus struct {
+	Constraint *model.Constraint
+	Estimate   SequenceLatencyEstimate
+	// Covered is false when measurement data for parts of the sequence is
+	// missing (e.g. right after job start).
+	Covered bool
+	// Violated is true when the estimated mean sequence latency exceeds
+	// the constraint's bound.
+	Violated bool
+}
+
+// CheckConstraint evaluates one constraint against a summary.
+func CheckConstraint(s *Summary, c *model.Constraint) ConstraintStatus {
+	est, ok := EstimateSequenceLatency(s, c.Sequence)
+	return ConstraintStatus{
+		Constraint: c,
+		Estimate:   est,
+		Covered:    ok,
+		Violated:   ok && est.Total() > secondsOf(c.Bound),
+	}
+}
+
+// BatchingPolicy computes per-edge output-batching flush deadlines from
+// latency constraints (the adaptive output batching of the authors' prior
+// work, used here as a substrate). Per Section IV-F, a fraction of the
+// remaining budget ℓ − Σ l_jv is reserved as queue-wait headroom
+// (QueueWaitFraction, default 0.2) and the rest is spent on batching,
+// spread evenly over the sequence's edges.
+type BatchingPolicy struct {
+	// QueueWaitFraction is the share of the non-task-latency budget
+	// reserved for queue waiting time (Ŵ_js); the remainder is the
+	// batching budget. Default 0.2.
+	QueueWaitFraction float64
+}
+
+// DefaultBatchingPolicy returns the policy with the paper's 20/80 split.
+func DefaultBatchingPolicy() BatchingPolicy {
+	return BatchingPolicy{QueueWaitFraction: 0.2}
+}
+
+// QueueWaitLimit returns Ŵ_js = f·(ℓ − Σ l_jv) for the constraint, given
+// the summary's task latencies (Algorithm 2, line 7). The result is
+// floored at 0; a zero limit means the constraint cannot be met by
+// controlling queueing alone.
+func (p BatchingPolicy) QueueWaitLimit(s *Summary, c *model.Constraint) float64 {
+	budget := secondsOf(c.Bound)
+	for _, name := range c.Sequence.Vertices() {
+		if v, ok := s.Vertices[name]; ok {
+			budget -= v.TaskLatency
+		}
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	f := p.QueueWaitFraction
+	if f <= 0 || f >= 1 {
+		f = 0.2
+	}
+	return f * budget
+}
+
+// FlushDeadlines computes the output-batching deadline for every edge of
+// every constrained sequence. Adaptive output batching is a feedback
+// controller: the budget spent on batching is what remains of ℓ after the
+// measured task latencies AND the measured queue waiting times, spread
+// evenly over the sequence's edges. Subtracting the measured waits is
+// essential — batching itself makes arrivals bursty and thereby grows
+// queue waits, so when waits grow the deadlines must shrink until the
+// loop settles with the sequence latency at ≈ ℓ. A small fraction f of
+// the wait-free budget stays reserved as headroom (mirroring the 20/80
+// split of Section IV-F). When multiple constraints cover the same edge
+// the strictest (smallest) deadline wins; exhausted budgets yield
+// deadline 0 (instant flush).
+func (p BatchingPolicy) FlushDeadlines(s *Summary, constraints []*model.Constraint) map[model.EdgeKey]float64 {
+	deadlines := make(map[model.EdgeKey]float64)
+	f := p.QueueWaitFraction
+	if f <= 0 || f >= 1 {
+		f = 0.2
+	}
+	for _, c := range constraints {
+		budget := secondsOf(c.Bound)
+		for _, name := range c.Sequence.Vertices() {
+			if v, ok := s.Vertices[name]; ok {
+				budget -= v.TaskLatency
+			}
+		}
+		headroom := f * budget
+		for _, key := range c.Sequence.Edges() {
+			if e, ok := s.Edges[key]; ok {
+				budget -= e.QueueWait()
+			}
+		}
+		budget -= headroom
+		if budget < 0 {
+			budget = 0
+		}
+		edges := c.Sequence.Edges()
+		if len(edges) == 0 {
+			continue
+		}
+		perEdge := budget / float64(len(edges))
+		for _, key := range edges {
+			if cur, ok := deadlines[key]; !ok || perEdge < cur {
+				deadlines[key] = perEdge
+			}
+		}
+	}
+	return deadlines
+}

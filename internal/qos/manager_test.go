@@ -1,0 +1,144 @@
+package qos
+
+import (
+	"testing"
+
+	"nephelix/internal/model"
+)
+
+func taskID(vertex string, idx int) model.TaskID {
+	return model.TaskID{Vertex: vertex, Index: idx}
+}
+
+func TestTaskReporterIntervalFlow(t *testing.T) {
+	r := NewTaskReporter(taskID("v", 0))
+	r.RecordArrival(1.000)
+	r.RecordArrival(1.010) // interarrival 10 ms
+	r.RecordArrival(1.030) // interarrival 20 ms
+	r.RecordService(0.002)
+	r.RecordService(0.004)
+	r.RecordTaskLatency(0.002)
+
+	rep := r.Flush()
+	if rep.InterarrivalCount != 2 || !almostEqual(rep.InterarrivalMean, 0.015, 1e-12) {
+		t.Errorf("interarrival: count=%d mean=%v", rep.InterarrivalCount, rep.InterarrivalMean)
+	}
+	if rep.ServiceCount != 2 || !almostEqual(rep.ServiceMean, 0.003, 1e-12) {
+		t.Errorf("service: count=%d mean=%v", rep.ServiceCount, rep.ServiceMean)
+	}
+	if rep.TaskLatencyCount != 1 {
+		t.Errorf("task latency count: got %d, want 1", rep.TaskLatencyCount)
+	}
+
+	// Interarrival chain survives the flush.
+	r.RecordArrival(1.050)
+	rep2 := r.Flush()
+	if rep2.InterarrivalCount != 1 || !almostEqual(rep2.InterarrivalMean, 0.020, 1e-12) {
+		t.Errorf("post-flush interarrival: count=%d mean=%v", rep2.InterarrivalCount, rep2.InterarrivalMean)
+	}
+}
+
+func TestTaskReporterIgnoresNegative(t *testing.T) {
+	r := NewTaskReporter(taskID("v", 0))
+	r.RecordService(-1)
+	r.RecordTaskLatency(-0.5)
+	r.RecordArrival(5)
+	r.RecordArrival(4) // time went backwards; ignored
+	rep := r.Flush()
+	if !rep.Empty() {
+		t.Errorf("negative measurements must be dropped: %+v", rep)
+	}
+}
+
+func TestChannelReporter(t *testing.T) {
+	ch := model.ChannelID{Edge: model.EdgeKey{Source: "a", Target: "b"}}
+	r := NewChannelReporter(ch)
+	r.RecordTransfer(0.010, 0.004)
+	r.RecordTransfer(0.020, 0.006)
+	rep := r.Flush()
+	if rep.LatencyCount != 2 || !almostEqual(rep.LatencyMean, 0.015, 1e-12) {
+		t.Errorf("latency: count=%d mean=%v", rep.LatencyCount, rep.LatencyMean)
+	}
+	if rep.BatchLatencyCount != 2 || !almostEqual(rep.BatchLatencyMean, 0.005, 1e-12) {
+		t.Errorf("batch latency: count=%d mean=%v", rep.BatchLatencyCount, rep.BatchLatencyMean)
+	}
+	if !r.Flush().Empty() {
+		t.Error("second flush must be empty")
+	}
+}
+
+func TestManagerHistoryWindow(t *testing.T) {
+	m := NewManager(ManagerConfig{HistoryLength: 2, EvictAfter: 10})
+	id := taskID("v", 0)
+	// Three reports; only the newest two must contribute.
+	for i, svc := range []float64{0.010, 0.020, 0.030} {
+		m.ReportTask(TaskReport{Task: id, ServiceCount: 1, ServiceMean: svc, ServiceCV: float64(i)})
+	}
+	p := m.PartialSummary()
+	s := p.Finalize(map[string]int{"v": 1})
+	got := s.Vertices["v"].ServiceTimeMean
+	if !almostEqual(got, 0.025, 1e-12) {
+		t.Errorf("history window: service mean got %v, want 0.025 (mean of last two)", got)
+	}
+}
+
+func TestManagerEviction(t *testing.T) {
+	m := NewManager(ManagerConfig{HistoryLength: 5, EvictAfter: 2})
+	m.ReportTask(TaskReport{Task: taskID("v", 0), ServiceCount: 1, ServiceMean: 0.01})
+	if m.TrackedTasks() != 1 {
+		t.Fatalf("TrackedTasks: got %d, want 1", m.TrackedTasks())
+	}
+	// Three adjustment intervals without reports evict the task.
+	for i := 0; i < 3; i++ {
+		_ = m.PartialSummary()
+	}
+	if m.TrackedTasks() != 0 {
+		t.Errorf("idle task not evicted: %d tracked", m.TrackedTasks())
+	}
+}
+
+func TestManagerIgnoresEmptyReports(t *testing.T) {
+	m := NewManager(DefaultManagerConfig())
+	m.ReportTask(TaskReport{Task: taskID("v", 0)})
+	m.ReportChannel(ChannelReport{Channel: model.ChannelID{}})
+	if m.TrackedTasks() != 0 || m.TrackedChannels() != 0 {
+		t.Error("empty reports must not create history")
+	}
+}
+
+func TestManagerForget(t *testing.T) {
+	m := NewManager(DefaultManagerConfig())
+	id := taskID("v", 3)
+	m.ReportTask(TaskReport{Task: id, ServiceCount: 1, ServiceMean: 0.01})
+	m.Forget(id)
+	if m.TrackedTasks() != 0 {
+		t.Error("Forget did not drop task history")
+	}
+}
+
+func TestMergePartialsAcrossManagers(t *testing.T) {
+	// Manager A sees task v[0], manager B sees v[1]; the global summary
+	// must average both.
+	a := NewManager(DefaultManagerConfig())
+	b := NewManager(DefaultManagerConfig())
+	a.ReportTask(TaskReport{Task: taskID("v", 0), ServiceCount: 10, ServiceMean: 0.002, InterarrivalCount: 10, InterarrivalMean: 0.008})
+	b.ReportTask(TaskReport{Task: taskID("v", 1), ServiceCount: 10, ServiceMean: 0.004, InterarrivalCount: 10, InterarrivalMean: 0.012})
+	ch := model.ChannelID{Edge: model.EdgeKey{Source: "u", Target: "v"}, Producer: 0, Consumer: 1}
+	b.ReportChannel(ChannelReport{Channel: ch, LatencyCount: 5, LatencyMean: 0.010, BatchLatencyCount: 5, BatchLatencyMean: 0.002})
+
+	global := MergePartials(map[string]int{"v": 2}, a.PartialSummary(), b.PartialSummary(), nil)
+	v, ok := global.Vertex("v")
+	if !ok {
+		t.Fatal("vertex missing from global summary")
+	}
+	if !almostEqual(v.ServiceTimeMean, 0.003, 1e-12) || !almostEqual(v.InterarrivalMean, 0.010, 1e-12) {
+		t.Errorf("global averages: %+v", v)
+	}
+	if v.Parallelism != 2 {
+		t.Errorf("parallelism: got %d, want 2", v.Parallelism)
+	}
+	e, ok := global.Edge(model.EdgeKey{Source: "u", Target: "v"})
+	if !ok || !almostEqual(e.QueueWait(), 0.008, 1e-12) {
+		t.Errorf("edge stats: %+v ok=%v", e, ok)
+	}
+}

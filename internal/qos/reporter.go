@@ -1,0 +1,142 @@
+package qos
+
+import (
+	"nephelix/internal/metrics"
+	"nephelix/internal/model"
+)
+
+// TaskReport is the per-measurement-interval aggregate a QoS reporter
+// emits for one task: the sampled means (and coefficients of variation)
+// of the task-level metrics of Table I.
+type TaskReport struct {
+	Task model.TaskID
+
+	TaskLatencyCount int64
+	TaskLatencyMean  float64
+
+	ServiceCount int64
+	ServiceMean  float64
+	ServiceCV    float64
+
+	InterarrivalCount int64
+	InterarrivalMean  float64
+	InterarrivalCV    float64
+}
+
+// Empty reports whether the interval carried no measurements at all.
+func (r TaskReport) Empty() bool {
+	return r.TaskLatencyCount == 0 && r.ServiceCount == 0 && r.InterarrivalCount == 0
+}
+
+// ChannelReport is the per-measurement-interval aggregate for one channel:
+// sampled mean channel latency l_e and output batch latency obl_e.
+type ChannelReport struct {
+	Channel model.ChannelID
+
+	LatencyCount int64
+	LatencyMean  float64
+
+	BatchLatencyCount int64
+	BatchLatencyMean  float64
+}
+
+// Empty reports whether the interval carried no measurements.
+func (r ChannelReport) Empty() bool {
+	return r.LatencyCount == 0 && r.BatchLatencyCount == 0
+}
+
+// TaskReporter instruments a single task. It is not safe for concurrent
+// use: it is owned by the goroutine (or simulator event loop) executing
+// the task. Latencies are recorded in seconds.
+type TaskReporter struct {
+	task         model.TaskID
+	taskLatency  metrics.IntervalStats
+	service      metrics.IntervalStats
+	interarrival metrics.IntervalStats
+	lastArrival  float64
+	hasArrival   bool
+}
+
+// NewTaskReporter creates a reporter for the given task.
+func NewTaskReporter(task model.TaskID) *TaskReporter {
+	return &TaskReporter{task: task}
+}
+
+// Task returns the instrumented task's id.
+func (r *TaskReporter) Task() model.TaskID { return r.task }
+
+// RecordArrival notes that a data item was consumed at time now and
+// derives the interarrival time from the previous arrival.
+func (r *TaskReporter) RecordArrival(now float64) {
+	if r.hasArrival {
+		if d := now - r.lastArrival; d >= 0 {
+			r.interarrival.Add(d)
+		}
+	}
+	r.lastArrival = now
+	r.hasArrival = true
+}
+
+// RecordService records one sampled service time (the time the task was
+// busy with a data item, equal to read-ready task latency).
+func (r *TaskReporter) RecordService(d float64) {
+	if d >= 0 {
+		r.service.Add(d)
+	}
+}
+
+// RecordTaskLatency records one sampled task latency; for read-ready UDFs
+// this equals the service time, for read-write UDFs it is the
+// consume-to-next-write time.
+func (r *TaskReporter) RecordTaskLatency(d float64) {
+	if d >= 0 {
+		r.taskLatency.Add(d)
+	}
+}
+
+// Flush emits the interval report and resets the interval accumulators.
+// The interarrival chain (time of last arrival) survives the flush so the
+// first arrival of the next interval still yields a sample.
+func (r *TaskReporter) Flush() TaskReport {
+	rep := TaskReport{Task: r.task}
+	rep.TaskLatencyCount, rep.TaskLatencyMean, _ = r.taskLatency.Snapshot()
+	rep.ServiceCount, rep.ServiceMean, rep.ServiceCV = r.service.Snapshot()
+	rep.InterarrivalCount, rep.InterarrivalMean, rep.InterarrivalCV = r.interarrival.Snapshot()
+	return rep
+}
+
+// ChannelReporter instruments a single channel. Like TaskReporter it is
+// owned by one goroutine (the consumer side records transfers).
+type ChannelReporter struct {
+	channel      model.ChannelID
+	latency      metrics.IntervalStats
+	batchLatency metrics.IntervalStats
+}
+
+// NewChannelReporter creates a reporter for the given channel.
+func NewChannelReporter(channel model.ChannelID) *ChannelReporter {
+	return &ChannelReporter{channel: channel}
+}
+
+// Channel returns the instrumented channel's id.
+func (r *ChannelReporter) Channel() model.ChannelID { return r.channel }
+
+// RecordTransfer records one sampled item transfer: latency is the full
+// channel latency (emit to consume), batchLatency the portion spent
+// waiting in the producer's output buffer.
+func (r *ChannelReporter) RecordTransfer(latency, batchLatency float64) {
+	if latency >= 0 {
+		r.latency.Add(latency)
+	}
+	if batchLatency >= 0 {
+		r.batchLatency.Add(batchLatency)
+	}
+}
+
+// Flush emits the interval report and resets the accumulators.
+func (r *ChannelReporter) Flush() ChannelReport {
+	rep := ChannelReport{Channel: r.channel}
+	rep.LatencyCount, rep.LatencyMean, _ = r.latency.Snapshot()
+	rep.BatchLatencyCount, rep.BatchLatencyMean, _ = r.batchLatency.Snapshot()
+	return rep
+}

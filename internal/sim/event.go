@@ -1,0 +1,75 @@
+// Package sim is a discrete-event simulator for stream processing jobs:
+// tasks are single-server queueing stations, channels carry batches with
+// configurable output batching (instant flush, fixed buffer, adaptive
+// deadline), bounded input queues exert backpressure, and the QoS plane
+// plus the elastic scaler of internal/core run unmodified on top of the
+// simulated measurements.
+//
+// The simulator substitutes the paper's 130-node commodity cluster: it
+// reproduces the mechanisms the evaluation depends on (queueing delay
+// growth near saturation, the batching/latency trade-off via per-flush
+// overhead, backpressure throttling, scale-up/scale-down dynamics) under
+// virtual time, so cluster-scale experiments run on a laptop.
+package sim
+
+import "container/heap"
+
+// event is one scheduled simulator action.
+type event struct {
+	at  float64
+	seq uint64 // FIFO tie-break for equal timestamps
+	fn  func()
+}
+
+// eventQueue is a binary min-heap of events ordered by (at, seq).
+type eventQueue struct {
+	items   []event
+	nextSeq uint64
+}
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	if q.items[i].at != q.items[j].at {
+		return q.items[i].at < q.items[j].at
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.items[i], q.items[j] = q.items[j], q.items[i] }
+
+// Push implements heap.Interface; use push instead.
+func (q *eventQueue) Push(x any) { q.items = append(q.items, x.(event)) }
+
+// Pop implements heap.Interface; use pop instead.
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// push schedules fn at time at.
+func (q *eventQueue) push(at float64, fn func()) {
+	q.nextSeq++
+	heap.Push(q, event{at: at, seq: q.nextSeq, fn: fn})
+}
+
+// pop removes and returns the earliest event; ok is false when empty.
+func (q *eventQueue) pop() (event, bool) {
+	if len(q.items) == 0 {
+		return event{}, false
+	}
+	return heap.Pop(q).(event), true
+}
+
+// peekTime returns the earliest event time; ok is false when empty.
+func (q *eventQueue) peekTime() (float64, bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].at, true
+}

@@ -1,0 +1,35 @@
+package sim
+
+// Item is one simulated data item flowing through the runtime graph.
+// Items are passed by value in batches to keep allocation low.
+type Item struct {
+	// EmitTime is the virtual time the item (or its oldest ancestor)
+	// entered the constrained sequence at a source; end-to-end latency
+	// probes measure against it.
+	EmitTime float64
+	// BufferTime is the time the item was placed into the current output
+	// buffer; channel latency l_e is measured from it.
+	BufferTime float64
+	// ShipTime is the time the flush carrying the item started; output
+	// batch latency obl_e = ShipTime − BufferTime.
+	ShipTime float64
+	// Size is the item's serialized size in bytes; it drives buffer-full
+	// flushes and per-byte network cost.
+	Size int32
+	// Kind is an application-defined tag (e.g. tweet vs topic list).
+	Kind uint8
+	// Sampled marks items participating in end-to-end latency probing.
+	Sampled bool
+	// Key selects the partition for key-based wiring and carries
+	// application payload identity (e.g. the candidate number or topic).
+	Key uint64
+	// Origins carries the sampled EmitTimes of items aggregated into this
+	// one (windowed operators), so sequence latency with read-write
+	// semantics stays measurable across aggregation. Nil for ordinary
+	// items.
+	Origins []float64
+
+	// src is the channel that delivered the item to the current task; the
+	// consumer records channel latency against it at dequeue time.
+	src *simChannel
+}

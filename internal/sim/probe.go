@@ -1,0 +1,17 @@
+package sim
+
+import "nephelix/internal/probe"
+
+// Probe and ProbeSet are re-exported from internal/probe so existing
+// simulator callers keep their import surface; the live engine shares the
+// same types.
+type (
+	// Probe collects ground-truth end-to-end latencies for one
+	// constrained sequence.
+	Probe = probe.Probe
+	// ProbeSet is a named collection of probes.
+	ProbeSet = probe.ProbeSet
+)
+
+// NewProbeSet returns an empty probe set.
+func NewProbeSet() *ProbeSet { return probe.NewProbeSet() }

@@ -1,0 +1,505 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"nephelix/internal/model"
+	"nephelix/internal/qos"
+)
+
+// simChannel is one producer→consumer communication path. Buffering
+// happens in the producer's output gate; the channel carries batches,
+// tracks stalls (backpressure) and owns the QoS channel reporter.
+type simChannel struct {
+	id   model.ChannelID
+	edge model.EdgeKey
+	from *simTask
+	to   *simTask
+
+	// stalled holds batches that arrived at a full consumer queue; the
+	// producer is blocked while any batch is stalled.
+	stalled [][]Item
+
+	established bool
+	closed      bool
+
+	reporter *qos.ChannelReporter
+	mgr      *qos.Manager
+}
+
+// gateBuf is one output buffer within a gate.
+type gateBuf struct {
+	items    []Item
+	bytes    int
+	timerSet bool
+	gen      uint64
+	// pending marks a size/deadline-triggered flush deferred because the
+	// producer is blocked in a send.
+	pending bool
+}
+
+// outGate is a task's output side for one outgoing job edge. Following
+// Nephele's design, round-robin and broadcast edges batch in a single
+// producer-side buffer: a full (or due) buffer ships as one batch to the
+// next consumer in rotation (round-robin) or to all consumers
+// (broadcast). Key-based edges keep one buffer per consumer, since items
+// are pinned to their key's partition.
+type outGate struct {
+	t       *simTask
+	pos     int
+	edge    model.EdgeKey
+	pattern model.WiringPattern
+	mode    BatchMode
+	// bufferBytes is the flush threshold; deadline the adaptive flush
+	// deadline (0 = instant, +Inf = size-only).
+	bufferBytes int
+	deadline    float64
+
+	channels []*simChannel // active consumer channels
+	rr       int
+	rrInit   bool
+
+	shared  *gateBuf                 // round-robin and broadcast edges
+	perChan map[*simChannel]*gateBuf // key-based edges
+}
+
+// hasBacklog reports whether data is still buffered in the gate.
+func (g *outGate) hasBacklog() bool {
+	if g.shared != nil && len(g.shared.items) > 0 {
+		return true
+	}
+	for _, b := range g.perChan {
+		if len(b.items) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// simTask is one task of the runtime graph: a single-server queueing
+// station with an input queue and output gates per out-edge.
+type simTask struct {
+	id  model.TaskID
+	vtx *simVertex
+
+	behavior Behavior
+	ctx      TaskContext
+
+	// queue is the input queue (ring via head index).
+	queue []Item
+	qHead int
+
+	busy     bool
+	draining bool
+	disposed bool
+
+	// blockedOut counts output channels with stalled batches; a task with
+	// blockedOut > 0 is stuck in a send and processes nothing.
+	blockedOut int
+	// pendingOverhead is CPU debt (flush/receive costs) added to the next
+	// service time.
+	pendingOverhead float64
+
+	gates []*outGate    // one per outgoing job edge
+	in    []*simChannel // incoming channels
+
+	// inflightIn counts batches in transit to this task; stalledInBatches
+	// counts batches stalled on inbound channels.
+	inflightIn       int
+	stalledInBatches int
+
+	// source state
+	isSource       bool
+	srcPendingEmit bool
+	srcStopped     bool
+
+	// rwPending holds consume times of sampled items awaiting the next
+	// write (read-write task latency).
+	rwPending []float64
+
+	reporter *qos.TaskReporter
+	mgr      *qos.Manager
+
+	// busyAccum integrates busy time for CPU-utilization reporting.
+	busyAccum float64
+}
+
+// queueLen returns the current input queue length.
+func (t *simTask) queueLen() int { return len(t.queue) - t.qHead }
+
+// pushQueue appends an item to the input queue.
+func (t *simTask) pushQueue(it Item) {
+	t.queue = append(t.queue, it)
+}
+
+// popQueue removes the oldest queued item.
+func (t *simTask) popQueue() Item {
+	it := t.queue[t.qHead]
+	t.queue[t.qHead] = Item{} // release Origins references
+	t.qHead++
+	if t.qHead > 1024 && t.qHead*2 >= len(t.queue) {
+		n := copy(t.queue, t.queue[t.qHead:])
+		t.queue = t.queue[:n]
+		t.qHead = 0
+	}
+	return it
+}
+
+// TaskContext is the API surface a Behavior sees while processing.
+type TaskContext struct {
+	s *Sim
+	t *simTask
+}
+
+// Now returns the current virtual time in seconds.
+func (c *TaskContext) Now() float64 { return c.s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (c *TaskContext) Rand() *rand.Rand { return c.s.rng }
+
+// TaskIndex returns the task's index within its vertex.
+func (c *TaskContext) TaskIndex() int { return c.t.id.Index }
+
+// Parallelism returns the vertex's current number of active tasks.
+func (c *TaskContext) Parallelism() int { return len(c.t.vtx.tasks) }
+
+// Emit sends an item along the task's edgeIdx-th outgoing job edge
+// (ordered as in JobGraph.OutEdges). The wiring pattern of the edge
+// selects the consumer(s).
+func (c *TaskContext) Emit(edgeIdx int, it Item) {
+	c.s.emit(c.t, edgeIdx, it)
+}
+
+// OutEdges returns the number of outgoing job edges.
+func (c *TaskContext) OutEdges() int { return len(c.t.gates) }
+
+// emit routes an item from task t into its edgeIdx-th output gate.
+func (s *Sim) emit(t *simTask, edgeIdx int, it Item) {
+	if edgeIdx < 0 || edgeIdx >= len(t.gates) {
+		s.fail("emit on invalid edge index %d from %s", edgeIdx, t.id)
+		return
+	}
+	// A write completes read-write latency measurements.
+	if len(t.rwPending) > 0 {
+		for _, tc := range t.rwPending {
+			t.reporter.RecordTaskLatency(s.now - tc)
+		}
+		t.rwPending = t.rwPending[:0]
+	}
+	g := t.gates[edgeIdx]
+	if len(g.channels) == 0 {
+		return // all consumers gone (drained); drop
+	}
+	it.BufferTime = s.now
+	it.src = nil
+
+	var buf *gateBuf
+	if g.pattern == model.PatternKeyBased {
+		ch := g.channels[int(mix64(it.Key)%uint64(len(g.channels)))]
+		buf = g.perChan[ch]
+		if buf == nil {
+			buf = &gateBuf{}
+			g.perChan[ch] = buf
+		}
+		s.appendToBuf(g, buf, ch, it)
+		return
+	}
+	buf = g.shared
+	s.appendToBuf(g, buf, nil, it)
+}
+
+// appendToBuf adds an item to a gate buffer and triggers flushes. ch is
+// the pinned consumer for key-based buffers, nil for shared buffers.
+func (s *Sim) appendToBuf(g *outGate, buf *gateBuf, ch *simChannel, it Item) {
+	buf.items = append(buf.items, it)
+	buf.bytes += int(it.Size)
+	switch {
+	case g.mode == BatchInstant || g.deadline <= 0:
+		s.flushBuf(g, buf, ch)
+	case buf.bytes >= g.bufferBytes:
+		s.flushBuf(g, buf, ch)
+	case !math.IsInf(g.deadline, 1) && !buf.timerSet:
+		s.armFlushTimer(g, buf, ch, buf.items[0].BufferTime+g.deadline)
+	}
+}
+
+// armFlushTimer schedules a deadline flush check for a gate buffer.
+func (s *Sim) armFlushTimer(g *outGate, buf *gateBuf, ch *simChannel, at float64) {
+	buf.timerSet = true
+	gen := buf.gen
+	s.q.push(at, func() {
+		buf.timerSet = false
+		if buf.gen != gen || len(buf.items) == 0 || g.t.disposed {
+			return
+		}
+		due := buf.items[0].BufferTime + g.deadline
+		if s.now+1e-12 >= due {
+			s.flushBuf(g, buf, ch)
+			return
+		}
+		s.armFlushTimer(g, buf, ch, due)
+	})
+}
+
+// mix64 is a splitmix64 finalizer used for key partitioning.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// flushBuf ships a gate buffer: to the next consumer in rotation
+// (round-robin), to its pinned consumer (key-based), or to every consumer
+// (broadcast). A blocked producer defers the flush until it resumes.
+func (s *Sim) flushBuf(g *outGate, buf *gateBuf, pinned *simChannel) {
+	if len(buf.items) == 0 {
+		return
+	}
+	if g.t.blockedOut > 0 {
+		// The producer is stuck in a send; ship once it resumes.
+		buf.pending = true
+		return
+	}
+	batch := buf.items
+	buf.items = nil
+	buf.bytes = 0
+	buf.gen++
+	buf.pending = false
+
+	bytes := 0
+	for i := range batch {
+		batch[i].ShipTime = s.now
+		bytes += int(batch[i].Size)
+	}
+
+	switch {
+	case pinned != nil:
+		s.ship(pinned, batch, bytes)
+	case g.pattern == model.PatternBroadcast:
+		for i, ch := range g.channels {
+			if i == len(g.channels)-1 {
+				s.ship(ch, batch, bytes) // last consumer takes the original
+			} else {
+				cp := make([]Item, len(batch))
+				copy(cp, batch)
+				s.ship(ch, cp, bytes)
+			}
+		}
+	default: // round-robin: the whole batch goes to the next consumer
+		if !g.rrInit {
+			// (Re-)start the rotation at a random offset. Without this,
+			// producers sweep their consumers in near-lockstep — and
+			// after a scale-up appends the same consumers to every gate,
+			// all rotation phases cluster inside the old index range,
+			// hitting each new consumer with synchronized waves. The
+			// offset is re-drawn on every consumer-set change.
+			g.rr = s.rng.Intn(len(g.channels))
+			g.rrInit = true
+		}
+		if g.rr >= len(g.channels) {
+			g.rr = 0
+		}
+		ch := g.channels[g.rr]
+		g.rr = (g.rr + 1) % len(g.channels)
+		s.ship(ch, batch, bytes)
+	}
+}
+
+// ship charges the producer the flush CPU cost and schedules delivery
+// after the network transit time.
+func (s *Sim) ship(ch *simChannel, batch []Item, bytes int) {
+	ch.from.pendingOverhead += s.cfg.Costs.FlushCPU
+	transit := s.cfg.Costs.NetFixed + s.cfg.Costs.NetPerByte*float64(bytes)
+	if !ch.established {
+		transit += s.cfg.Costs.TCPSetup
+		ch.established = true
+	}
+	ch.to.inflightIn++
+	s.q.push(s.now+transit, func() { s.deliver(ch, batch) })
+}
+
+// flushGate flushes everything buffered in a gate (drain support).
+// Keyed buffers flush in channel-id order for run determinism.
+func (s *Sim) flushGate(g *outGate) {
+	if g.shared != nil && len(g.shared.items) > 0 {
+		s.flushBuf(g, g.shared, nil)
+	}
+	for _, ch := range sortedKeyedChannels(g.perChan) {
+		if buf := g.perChan[ch]; len(buf.items) > 0 {
+			s.flushBuf(g, buf, ch)
+		}
+	}
+}
+
+// flushPendingGates ships buffers whose flush was deferred by a blocked
+// producer (keyed buffers in channel-id order for determinism).
+func (s *Sim) flushPendingGates(t *simTask) {
+	for _, g := range t.gates {
+		if g.shared != nil && g.shared.pending {
+			s.flushBuf(g, g.shared, nil)
+		}
+		for _, ch := range sortedKeyedChannels(g.perChan) {
+			if buf := g.perChan[ch]; buf.pending {
+				s.flushBuf(g, buf, ch)
+			}
+		}
+	}
+}
+
+// deliver attempts to enqueue a batch at the consumer; a full queue
+// stalls the batch and blocks the producer (backpressure).
+func (s *Sim) deliver(ch *simChannel, batch []Item) {
+	ch.to.inflightIn--
+	if ch.to.disposed {
+		// The consumer finished draining before the batch arrived (only
+		// possible for leftovers raced by disposal); account for
+		// diagnostics.
+		s.droppedItems += int64(len(batch))
+		return
+	}
+	if s.cfg.QueueCapacityItems-ch.to.queueLen() < len(batch) {
+		if len(ch.stalled) == 0 {
+			ch.from.blockedOut++
+		}
+		ch.stalled = append(ch.stalled, batch)
+		ch.to.stalledInBatches++
+		return
+	}
+	s.acceptBatch(ch, batch)
+}
+
+// acceptBatch enqueues a delivered batch and kicks the consumer.
+func (s *Sim) acceptBatch(ch *simChannel, batch []Item) {
+	to := ch.to
+	to.pendingOverhead += s.cfg.Costs.ReceiveCPU
+	for i := range batch {
+		batch[i].src = ch
+		to.reporter.RecordArrival(s.now)
+		to.pushQueue(batch[i])
+	}
+	s.maybeStart(to)
+}
+
+// retryStalled re-attempts stalled deliveries on the consumer's inbound
+// channels after queue space freed up.
+func (s *Sim) retryStalled(to *simTask) {
+	if to.stalledInBatches == 0 {
+		return
+	}
+	for _, ch := range to.in {
+		for len(ch.stalled) > 0 {
+			batch := ch.stalled[0]
+			if s.cfg.QueueCapacityItems-to.queueLen() < len(batch) {
+				return
+			}
+			ch.stalled[0] = nil
+			ch.stalled = ch.stalled[1:]
+			to.stalledInBatches--
+			s.acceptBatch(ch, batch)
+			if len(ch.stalled) == 0 {
+				ch.from.blockedOut--
+				s.resume(ch.from)
+			}
+		}
+	}
+}
+
+// resume wakes a producer whose last stalled batch was delivered.
+func (s *Sim) resume(t *simTask) {
+	if t.blockedOut > 0 || t.disposed {
+		return
+	}
+	s.flushPendingGates(t)
+	if t.blockedOut > 0 {
+		return // the pending flush stalled again immediately
+	}
+	if t.isSource {
+		if t.srcPendingEmit && !t.srcStopped {
+			t.srcPendingEmit = false
+			s.sourceEmit(t)
+		}
+		return
+	}
+	s.maybeStart(t)
+}
+
+// maybeStart begins servicing the next queued item if the task is idle
+// and unblocked; it also finalizes draining tasks.
+func (s *Sim) maybeStart(t *simTask) {
+	if t.busy || t.disposed || t.blockedOut > 0 || t.isSource {
+		return
+	}
+	if t.queueLen() == 0 {
+		if t.draining {
+			s.tryDispose(t)
+		}
+		return
+	}
+	it := t.popQueue()
+	if it.src != nil && it.src.reporter != nil {
+		it.src.reporter.RecordTransfer(s.now-it.BufferTime, it.ShipTime-it.BufferTime)
+	}
+	st := t.behavior.ServiceTime(s.rng, &it) + t.pendingOverhead
+	t.pendingOverhead = 0
+	if st < 0 {
+		st = 0
+	}
+	// Mark busy before retrying stalled deliveries: acceptBatch calls
+	// back into maybeStart, which must not start a second concurrent
+	// service on this task.
+	t.busy = true
+	s.q.push(s.now+st, func() { s.completeService(t, it, st) })
+	s.retryStalled(t)
+}
+
+// latencyModeRW reports whether the task's vertex uses read-write task
+// latency.
+func (t *simTask) latencyModeRW() bool {
+	return t.vtx.jv.LatencyMode == model.LatencyReadWrite
+}
+
+// completeService finishes one item: records metrics, runs the behavior,
+// and starts the next item.
+func (s *Sim) completeService(t *simTask, it Item, st float64) {
+	t.busy = false
+	t.busyAccum += st
+	s.processed[t.vtx.jv.Name]++
+	t.reporter.RecordService(st)
+	if t.latencyModeRW() {
+		if it.Sampled && len(t.rwPending) < 64 {
+			t.rwPending = append(t.rwPending, s.now-st)
+		}
+	} else {
+		t.reporter.RecordTaskLatency(st)
+	}
+	t.behavior.Process(&t.ctx, it)
+	s.maybeStart(t)
+}
+
+// tryDispose finalizes a fully drained task. Partial output buffers are
+// force-flushed so a draining task cannot hang on a never-filling fixed
+// buffer.
+func (s *Sim) tryDispose(t *simTask) {
+	if t.disposed || !t.draining || t.busy || t.queueLen() > 0 || t.inflightIn > 0 || t.stalledInBatches > 0 {
+		return
+	}
+	for _, g := range t.gates {
+		if g.hasBacklog() {
+			s.flushGate(g)
+		}
+	}
+	if t.blockedOut > 0 {
+		return // stalled outgoing batches must deliver first
+	}
+	for _, g := range t.gates {
+		if g.hasBacklog() {
+			return // a deferred flush is still pending
+		}
+	}
+	t.disposed = true
+	t.vtx.finalizeRemoval(t)
+}

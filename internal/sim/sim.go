@@ -1,0 +1,683 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nephelix/internal/cluster"
+	"nephelix/internal/core"
+	"nephelix/internal/model"
+	"nephelix/internal/qos"
+)
+
+// Sim is one discrete-event simulation run. Create it with New, attach
+// probes via the Config's behaviors, then call Run.
+type Sim struct {
+	cfg *Config
+	now float64
+	q   eventQueue
+	rng *rand.Rand
+
+	vertices    map[string]*simVertex
+	vertexOrder []string
+	channels    []*simChannel
+
+	// edgePatterns[vertex][outPos] is the wiring pattern of the vertex's
+	// outPos-th outgoing edge; edgePos maps an edge to its position.
+	edgePatterns map[string][]model.WiringPattern
+	edgePos      map[model.EdgeKey]int
+
+	managers  []*qos.Manager
+	managerRR int
+
+	scaler    *core.ElasticScaler
+	scheduler *cluster.Scheduler
+	rm        *cluster.ResourceManager
+	meter     cluster.UsageMeter
+
+	probes *ProbeSet
+
+	// batching control state
+	batching  *qos.BatchingController
+	deadlines map[model.EdgeKey]float64
+
+	// counters
+	emitted             map[string]int64 // per source vertex
+	lastEmitted         map[string]int64
+	processed           map[string]int64 // per vertex: items completing service
+	lastProcessed       map[string]int64
+	droppedItems        int64
+	poolExhaustedEvents int
+	closedChannels      int
+	scaleUps            int
+	scaleDowns          int
+	infeasible          int
+	retiredBusy         float64
+	lastBusySum         float64
+	lastTaskSeconds     float64
+	lastRowTime         float64
+
+	rows []Row
+	err  error
+}
+
+// ProbeSample is one probe's per-row measurement.
+type ProbeSample struct {
+	Count int64
+	Mean  float64
+	P95   float64
+}
+
+// Row is one record-interval sample of the run's time series.
+type Row struct {
+	Time float64
+	// Probes holds per-probe latency samples for the interval.
+	Probes map[string]ProbeSample
+	// Attempted and Effective are per-source-vertex rates (items/s) over
+	// the interval.
+	Attempted map[string]float64
+	Effective map[string]float64
+	// Processed is the per-vertex rate of items completing service over
+	// the interval; at sink vertices this is the system's delivered
+	// throughput.
+	Processed map[string]float64
+	// Parallelism is the active task count per vertex.
+	Parallelism map[string]int
+	// TotalTasks counts active plus draining tasks; LeasedNodes the
+	// currently leased workers.
+	TotalTasks  int
+	LeasedNodes int
+	// CPUUtilization is the mean task CPU utilization over the interval.
+	CPUUtilization float64
+}
+
+// ProbeSummary is one probe's whole-run outcome.
+type ProbeSummary struct {
+	Fulfillment float64
+	Intervals   int
+	Mean        float64
+	P95         float64
+	Count       int64
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Rows   []Row
+	Probes map[string]ProbeSummary
+	// TaskHours and NodeHours are the integrated resource consumption
+	// (the paper's cost metric).
+	TaskHours float64
+	NodeHours float64
+	// Emitted counts items emitted per source vertex.
+	Emitted map[string]int64
+	// FinalParallelism and PeakParallelism describe the scaling history.
+	FinalParallelism map[string]int
+	PeakParallelism  map[string]int
+	ScaleUps         int
+	ScaleDowns       int
+	// InfeasibleDecisions counts adjustment rounds in which a constraint
+	// was infeasible even at maximum scale-out.
+	InfeasibleDecisions int
+	// PoolExhausted counts scale-up attempts clipped by the worker pool.
+	PoolExhausted int
+	// DroppedItems counts items lost to disposed tasks (diagnostics; zero
+	// in healthy runs).
+	DroppedItems int64
+	// MeanCPUUtilization is the run-wide mean task CPU utilization.
+	MeanCPUUtilization float64
+}
+
+// New builds a simulation from the config and probe set (probes may be
+// nil when the application does not measure end-to-end latency).
+func New(cfg Config, probes *ProbeSet) (*Sim, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	if probes == nil {
+		probes = NewProbeSet()
+	}
+	rm, err := cluster.NewResourceManager(cfg.WorkerNodes, cfg.SlotsPerNode)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	s := &Sim{
+		cfg:           &cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		vertices:      make(map[string]*simVertex),
+		edgePatterns:  make(map[string][]model.WiringPattern),
+		edgePos:       make(map[model.EdgeKey]int),
+		rm:            rm,
+		scheduler:     cluster.NewScheduler(rm),
+		probes:        probes,
+		batching:      qos.NewBatchingController(cfg.Scaler.Strategy.Batching),
+		deadlines:     make(map[model.EdgeKey]float64),
+		emitted:       make(map[string]int64),
+		lastEmitted:   make(map[string]int64),
+		processed:     make(map[string]int64),
+		lastProcessed: make(map[string]int64),
+	}
+	for i := 0; i < cfg.ManagerCount; i++ {
+		mcfg := qos.DefaultManagerConfig()
+		if cfg.AdjustmentInterval > 0 && cfg.MeasurementInterval > 0 {
+			mcfg.HistoryLength = int(math.Max(1, math.Round(cfg.AdjustmentInterval/cfg.MeasurementInterval)))
+		}
+		s.managers = append(s.managers, qos.NewManager(mcfg))
+	}
+	s.batching.SetElastic(cfg.Elastic)
+	if cfg.Elastic {
+		sc, err := core.NewElasticScaler(cfg.Scaler, cfg.Graph, cfg.Constraints)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		s.scaler = sc
+	}
+	if err := s.bootstrap(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// nextManager assigns reporters to managers round-robin.
+func (s *Sim) nextManager() *qos.Manager {
+	m := s.managers[s.managerRR]
+	s.managerRR = (s.managerRR + 1) % len(s.managers)
+	return m
+}
+
+// outEdgePos returns the position of edge within its source vertex's
+// out-edge order.
+func (s *Sim) outEdgePos(edge model.EdgeKey) int { return s.edgePos[edge] }
+
+// bootstrap creates the initial tasks and channels.
+func (s *Sim) bootstrap() error {
+	g := s.cfg.Graph
+	for _, jv := range g.Vertices() {
+		outs := g.OutEdges(jv.Name)
+		patterns := make([]model.WiringPattern, len(outs))
+		for i, ek := range outs {
+			patterns[i] = g.Edge(ek).Pattern
+			s.edgePos[ek] = i
+		}
+		s.edgePatterns[jv.Name] = patterns
+		v := &simVertex{
+			sim:      s,
+			jv:       jv,
+			cfg:      s.cfg.Vertices[jv.Name],
+			draining: make(map[*simTask]struct{}),
+			outEdges: outs,
+			inEdges:  g.InEdges(jv.Name),
+		}
+		s.vertices[jv.Name] = v
+		s.vertexOrder = append(s.vertexOrder, jv.Name)
+	}
+	// Create tasks first, then wire all channels producer×consumer.
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		for i := 0; i < v.jv.Parallelism; i++ {
+			t, err := v.newTask()
+			if err != nil {
+				return fmt.Errorf("sim: initial placement of %s task %d: %w", name, i, err)
+			}
+			v.tasks = append(v.tasks, t)
+		}
+	}
+	for _, e := range g.Edges() {
+		pos := s.edgePos[e.Key()]
+		for _, p := range s.vertices[e.Source].tasks {
+			for _, c := range s.vertices[e.Target].tasks {
+				s.connect(e.Key(), p, c, pos)
+			}
+		}
+	}
+	for _, name := range s.vertexOrder {
+		for _, t := range s.vertices[name].tasks {
+			s.startTask(t)
+		}
+	}
+	return nil
+}
+
+// startTask begins a task's autonomous activity: source emission and
+// window timers.
+func (s *Sim) startTask(t *simTask) {
+	if t.isSource {
+		src := t.vtx.cfg.Source
+		rate := src.Schedule.Rate(s.now)
+		offset := 0.001
+		if rate > 0 {
+			offset = s.rng.Float64() * float64(len(t.vtx.tasks)+1) / rate
+		}
+		s.q.push(s.now+offset, func() { s.sourceEmit(t) })
+		return
+	}
+	if tb, ok := t.behavior.(TimerBehavior); ok {
+		interval := tb.TimerInterval()
+		if interval <= 0 {
+			s.fail("timer behavior of %s has non-positive interval", t.id)
+			return
+		}
+		var fire func()
+		fire = func() {
+			if t.disposed || t.draining {
+				return
+			}
+			tb.OnTimer(&t.ctx)
+			// ±5% dither keeps window emissions from aliasing with
+			// batched arrivals and other periodic activity.
+			s.q.push(s.now+interval*(0.95+0.1*s.rng.Float64()), fire)
+		}
+		s.q.push(s.now+s.rng.Float64()*interval, fire)
+	}
+}
+
+// Sample reports whether the next source emission should be tagged for
+// end-to-end latency probing.
+func (c *TaskContext) Sample() bool {
+	p := c.t.vtx.cfg.SampleProbability
+	if p <= 0 {
+		p = 0.05
+	}
+	return c.s.rng.Float64() < p
+}
+
+// sourceEmit is one emission event of a source task.
+func (s *Sim) sourceEmit(t *simTask) {
+	if t.srcStopped || t.disposed {
+		return
+	}
+	if t.blockedOut > 0 {
+		// Backpressure: the source thread is stuck in a send; it resumes
+		// emitting when unblocked (resume()).
+		t.srcPendingEmit = true
+		return
+	}
+	src := t.vtx.cfg.Source
+	rate := src.Schedule.Rate(s.now)
+	if rate <= 0 {
+		if s.now < src.Schedule.Duration() {
+			s.q.push(s.now+0.5, func() { s.sourceEmit(t) })
+		} else {
+			t.srcStopped = true
+		}
+		return
+	}
+	cost := src.EmitCost + t.pendingOverhead
+	t.pendingOverhead = 0
+	t.busyAccum += cost
+	// Sources are tasks too: their per-item production cost is their
+	// service time, and each emission is an "arrival" of demand — so a
+	// source's utilization ρ = cost/interval reaches 1 when it saturates,
+	// making producer-bound edges visible to the batching controller.
+	t.reporter.RecordArrival(s.now)
+	t.reporter.RecordService(cost)
+	t.reporter.RecordTaskLatency(cost)
+	src.Emit(&t.ctx, s.now)
+	s.emitted[t.vtx.jv.Name]++
+
+	n := len(t.vtx.tasks)
+	if n == 0 {
+		n = 1
+	}
+	interval := float64(n) / rate
+	if src.Poisson {
+		interval *= s.rng.ExpFloat64()
+	} else {
+		// ±10% jitter keeps sources from emitting in lockstep.
+		interval *= 0.9 + 0.2*s.rng.Float64()
+	}
+	next := interval
+	if cost > next {
+		// Saturated source: the emission interval is the production cost
+		// itself. Real per-item costs vary; without jitter the saturated
+		// sources would sweep their consumers in rigid lockstep and
+		// cluster arrivals.
+		next = cost * (0.95 + 0.1*s.rng.Float64())
+	}
+	s.q.push(s.now+next, func() { s.sourceEmit(t) })
+}
+
+// fail aborts the run with an error.
+func (s *Sim) fail(format string, args ...any) {
+	if s.err == nil {
+		s.err = fmt.Errorf("sim: t=%.3f: "+format, append([]any{s.now}, args...)...)
+	}
+}
+
+// runningTasks counts active plus draining tasks.
+func (s *Sim) runningTasks() int {
+	total := 0
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		total += len(v.tasks) + len(v.draining)
+	}
+	return total
+}
+
+// accountUsage integrates resource usage up to now; call before any
+// change to task or node counts.
+func (s *Sim) accountUsage() {
+	s.meter.Advance(s.now, s.runningTasks(), s.rm.Leased())
+}
+
+// parallelismMap returns the active parallelism per vertex.
+func (s *Sim) parallelismMap() map[string]int {
+	m := make(map[string]int, len(s.vertexOrder))
+	for _, name := range s.vertexOrder {
+		m[name] = s.vertices[name].parallelism()
+	}
+	return m
+}
+
+// measurementTick flushes every reporter into its manager.
+func (s *Sim) measurementTick() {
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		for _, t := range v.tasks {
+			t.mgr.ReportTask(t.reporter.Flush())
+		}
+		for _, t := range sortedDraining(v.draining) {
+			t.mgr.ReportTask(t.reporter.Flush())
+		}
+	}
+	for _, ch := range s.channels {
+		if !ch.closed {
+			ch.mgr.ReportChannel(ch.reporter.Flush())
+		}
+	}
+}
+
+// adjustmentTick builds the global summary, reconfigures adaptive
+// batching, and runs the elastic scaler.
+func (s *Sim) adjustmentTick() {
+	for _, name := range s.probes.Names() {
+		s.probes.Probe(name).AdjSnapshot()
+	}
+	par := s.parallelismMap()
+	partials := make([]*qos.PartialSummary, 0, len(s.managers))
+	for _, m := range s.managers {
+		partials = append(partials, m.PartialSummary())
+	}
+	global := qos.MergePartials(par, partials...)
+
+	// Adaptive output batching: distribute constraint slack as flush
+	// deadlines (primary constraint enforcement mechanism).
+	if len(s.cfg.Constraints) > 0 {
+		deadlines := s.batching.Update(global, s.cfg.Constraints)
+		s.applyDeadlines(deadlines)
+	}
+
+	var decision *core.Decision
+	var decErr error
+	if s.scaler != nil {
+		decision, decErr = s.scaler.Decide(global, par)
+	}
+	if s.cfg.OnAdjust != nil {
+		s.cfg.OnAdjust(AdjustmentInfo{Now: s.now, Summary: global, Deadlines: s.deadlines, Decision: decision})
+	}
+	if decErr != nil {
+		s.fail("scaler: %v", decErr)
+		return
+	}
+	if decision == nil {
+		return
+	}
+	for _, cd := range decision.PerConstraint {
+		if cd.Infeasible {
+			s.infeasible++
+		}
+	}
+	if len(decision.Actions) == 0 {
+		return
+	}
+	s.accountUsage()
+	for _, a := range decision.Actions {
+		v := s.vertices[a.Vertex]
+		if v == nil {
+			s.fail("scaling action for unknown vertex %q", a.Vertex)
+			return
+		}
+		if d := a.Delta(); d > 0 {
+			v.addTasks(d)
+			s.scaleUps++
+		} else {
+			v.removeTasks(-d)
+			s.scaleDowns++
+		}
+	}
+}
+
+// applyDeadlines pushes new flush deadlines to adaptive output gates.
+// Gates are visited in deterministic order: any flush events created here
+// consume the shared RNG, and map-ordered iteration would make runs
+// diverge between processes.
+func (s *Sim) applyDeadlines(deadlines map[model.EdgeKey]float64) {
+	s.deadlines = deadlines
+	apply := func(g *outGate, buf *gateBuf, ch *simChannel, dl float64) {
+		if len(buf.items) == 0 {
+			return
+		}
+		if dl <= 0 {
+			s.flushBuf(g, buf, ch)
+		} else if !buf.timerSet && !math.IsInf(dl, 1) {
+			s.armFlushTimer(g, buf, ch, buf.items[0].BufferTime+dl)
+		}
+	}
+	forTask := func(t *simTask) {
+		for _, g := range t.gates {
+			if g.mode != BatchAdaptive {
+				continue
+			}
+			dl, ok := deadlines[g.edge]
+			if !ok {
+				continue
+			}
+			g.deadline = dl
+			if g.shared != nil {
+				apply(g, g.shared, nil, dl)
+			}
+			for _, ch := range sortedKeyedChannels(g.perChan) {
+				apply(g, g.perChan[ch], ch, dl)
+			}
+		}
+	}
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		for _, t := range v.tasks {
+			forTask(t)
+		}
+		for _, t := range sortedDraining(v.draining) {
+			forTask(t)
+		}
+	}
+}
+
+// sortedKeyedChannels returns a keyed gate's channels in id order.
+func sortedKeyedChannels(m map[*simChannel]*gateBuf) []*simChannel {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*simChannel, 0, len(m))
+	for ch := range m {
+		out = append(out, ch)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.String() < out[j].id.String() })
+	return out
+}
+
+// sortedDraining returns draining tasks in id order.
+func sortedDraining(m map[*simTask]struct{}) []*simTask {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]*simTask, 0, len(m))
+	for t := range m {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id.Index < out[j].id.Index })
+	return out
+}
+
+// recordTick emits one time-series row.
+func (s *Sim) recordTick() {
+	s.accountUsage()
+	dt := s.now - s.lastRowTime
+	if dt <= 0 {
+		return
+	}
+	row := Row{
+		Time:        s.now,
+		Probes:      make(map[string]ProbeSample),
+		Attempted:   make(map[string]float64),
+		Effective:   make(map[string]float64),
+		Processed:   make(map[string]float64),
+		Parallelism: s.parallelismMap(),
+		TotalTasks:  s.runningTasks(),
+		LeasedNodes: s.rm.Leased(),
+	}
+	for _, name := range s.probes.Names() {
+		cnt, mean, p95 := s.probes.Probe(name).RecSnapshot()
+		row.Probes[name] = ProbeSample{Count: cnt, Mean: mean, P95: p95}
+	}
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		row.Processed[name] = float64(s.processed[name]-s.lastProcessed[name]) / dt
+		s.lastProcessed[name] = s.processed[name]
+		if v.cfg.Source == nil {
+			continue
+		}
+		row.Attempted[name] = integrateRate(v.cfg.Source.Schedule.Rate, s.lastRowTime, s.now) / dt
+		row.Effective[name] = float64(s.emitted[name]-s.lastEmitted[name]) / dt
+		s.lastEmitted[name] = s.emitted[name]
+	}
+	// CPU utilization: busy seconds per task second over the interval.
+	busySum := s.retiredBusy
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		for _, t := range v.tasks {
+			busySum += t.busyAccum
+		}
+		for t := range v.draining {
+			busySum += t.busyAccum
+		}
+	}
+	taskSeconds := s.meter.TaskSeconds()
+	if d := taskSeconds - s.lastTaskSeconds; d > 0 {
+		row.CPUUtilization = (busySum - s.lastBusySum) / d
+	}
+	s.lastBusySum = busySum
+	s.lastTaskSeconds = taskSeconds
+	s.lastRowTime = s.now
+	s.rows = append(s.rows, row)
+}
+
+// integrateRate numerically integrates a rate function over [t0, t1].
+func integrateRate(rate func(float64) float64, t0, t1 float64) float64 {
+	const steps = 64
+	if t1 <= t0 {
+		return 0
+	}
+	h := (t1 - t0) / steps
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		sum += rate(t0 + (float64(i)+0.5)*h)
+	}
+	return sum * h
+}
+
+// Run executes the simulation until the configured duration and returns
+// the result.
+func (s *Sim) Run() (*Result, error) {
+	dur := s.cfg.Duration
+	// Recurring control-plane events.
+	var measure, adjust, record func()
+	measure = func() {
+		s.measurementTick()
+		if t := s.now + s.cfg.MeasurementInterval; t <= dur {
+			s.q.push(t, measure)
+		}
+	}
+	adjust = func() {
+		s.adjustmentTick()
+		if t := s.now + s.cfg.AdjustmentInterval; t <= dur {
+			s.q.push(t, adjust)
+		}
+	}
+	record = func() {
+		s.recordTick()
+		if t := s.now + s.cfg.RecordInterval; t <= dur {
+			s.q.push(t, record)
+		}
+	}
+	s.q.push(s.cfg.MeasurementInterval, measure)
+	s.q.push(s.cfg.AdjustmentInterval, adjust)
+	s.q.push(s.cfg.RecordInterval, record)
+	s.accountUsage()
+
+	peak := s.parallelismMap()
+	lastPeakCheck := 0.0
+	for {
+		ev, ok := s.q.pop()
+		if !ok || ev.at > dur {
+			break
+		}
+		s.now = ev.at
+		ev.fn()
+		if s.err != nil {
+			return nil, s.err
+		}
+		// Track peak parallelism at coarse granularity.
+		if s.now-lastPeakCheck >= 1 {
+			lastPeakCheck = s.now
+			for name, p := range s.parallelismMap() {
+				if p > peak[name] {
+					peak[name] = p
+				}
+			}
+		}
+	}
+	s.now = dur
+	s.accountUsage()
+
+	res := &Result{
+		Rows:                s.rows,
+		Probes:              make(map[string]ProbeSummary),
+		TaskHours:           s.meter.TaskHours(),
+		NodeHours:           s.meter.NodeHours(),
+		Emitted:             s.emitted,
+		FinalParallelism:    s.parallelismMap(),
+		PeakParallelism:     peak,
+		ScaleUps:            s.scaleUps,
+		ScaleDowns:          s.scaleDowns,
+		InfeasibleDecisions: s.infeasible,
+		PoolExhausted:       s.poolExhaustedEvents,
+		DroppedItems:        s.droppedItems,
+	}
+	for _, name := range s.probes.Names() {
+		p := s.probes.Probe(name)
+		frac, intervals := p.Fulfillment()
+		res.Probes[name] = ProbeSummary{
+			Fulfillment: frac,
+			Intervals:   intervals,
+			Mean:        p.TotalMean(),
+			P95:         p.TotalP95(),
+			Count:       p.TotalCount(),
+		}
+	}
+	// Run-wide CPU utilization.
+	busySum := s.retiredBusy
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		for _, t := range v.tasks {
+			busySum += t.busyAccum
+		}
+		for t := range v.draining {
+			busySum += t.busyAccum
+		}
+	}
+	if ts := s.meter.TaskSeconds(); ts > 0 {
+		res.MeanCPUUtilization = busySum / ts
+	}
+	return res, nil
+}

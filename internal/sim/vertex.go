@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"math"
+
+	"nephelix/internal/model"
+	"nephelix/internal/qos"
+)
+
+// simVertex groups the data-parallel tasks of one job vertex and manages
+// their elastic scaling.
+type simVertex struct {
+	sim *Sim
+	jv  *model.JobVertex
+	cfg VertexConfig
+
+	// tasks are the active tasks; draining tasks have been removed from
+	// routing but still process their queues.
+	tasks    []*simTask
+	draining map[*simTask]struct{}
+
+	// nextIndex allocates unique task indices so QoS history never mixes
+	// a removed task with its successor.
+	nextIndex int
+
+	// outEdges / inEdges cache the vertex's edge order.
+	outEdges []model.EdgeKey
+	inEdges  []model.EdgeKey
+}
+
+// parallelism returns the number of active (routed-to) tasks.
+func (v *simVertex) parallelism() int { return len(v.tasks) }
+
+// newTask builds, places and wires one new task (gates without consumers
+// yet).
+func (v *simVertex) newTask() (*simTask, error) {
+	s := v.sim
+	id := model.TaskID{Vertex: v.jv.Name, Index: v.nextIndex}
+	v.nextIndex++
+	t := &simTask{
+		id:       id,
+		vtx:      v,
+		isSource: v.cfg.Source != nil,
+		reporter: qos.NewTaskReporter(id),
+		mgr:      s.nextManager(),
+	}
+	t.ctx = TaskContext{s: s, t: t}
+	if v.cfg.NewBehavior != nil {
+		t.behavior = v.cfg.NewBehavior(id.Index)
+	}
+	t.gates = make([]*outGate, len(v.outEdges))
+	for pos, ek := range v.outEdges {
+		ec := s.cfg.edgeConfig(ek)
+		g := &outGate{
+			t:           t,
+			pos:         pos,
+			edge:        ek,
+			pattern:     s.cfg.Graph.Edge(ek).Pattern,
+			mode:        ec.Mode,
+			bufferBytes: ec.BufferBytes,
+			deadline:    s.initialGateDeadline(ec, ek),
+		}
+		if g.pattern == model.PatternKeyBased {
+			g.perChan = make(map[*simChannel]*gateBuf)
+		} else {
+			g.shared = &gateBuf{}
+		}
+		t.gates[pos] = g
+	}
+	if _, err := s.scheduler.Place(id); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// initialGateDeadline gives a gate's starting flush deadline per mode.
+func (s *Sim) initialGateDeadline(ec EdgeConfig, edge model.EdgeKey) float64 {
+	switch ec.Mode {
+	case BatchInstant:
+		return 0
+	case BatchFixedBuffer:
+		return math.Inf(1)
+	default:
+		// Adaptive gates inherit the current QoS deadline, starting with
+		// instant flushing until the QoS plane publishes one.
+		if dl, ok := s.deadlines[edge]; ok {
+			return dl
+		}
+		return 0
+	}
+}
+
+// connect wires a channel from producer p (through its outPos gate) to
+// consumer c and registers it with the simulator.
+func (s *Sim) connect(edge model.EdgeKey, p, c *simTask, outPos int) {
+	ch := &simChannel{
+		id:   model.ChannelID{Edge: edge, Producer: p.id.Index, Consumer: c.id.Index},
+		edge: edge,
+		from: p,
+		to:   c,
+		mgr:  s.nextManager(),
+	}
+	ch.reporter = qos.NewChannelReporter(ch.id)
+	g := p.gates[outPos]
+	g.channels = append(g.channels, ch)
+	g.rrInit = false // consumer set changed: re-draw the rotation offset
+	c.in = append(c.in, ch)
+	s.channels = append(s.channels, ch)
+}
+
+// addTasks grows the vertex by n tasks, wiring channels to all current
+// upstream producers and downstream consumers. It returns the number of
+// tasks actually added (the scheduler pool may run out).
+func (v *simVertex) addTasks(n int) int {
+	s := v.sim
+	added := 0
+	for i := 0; i < n; i++ {
+		t, err := v.newTask()
+		if err != nil {
+			s.poolExhaustedEvents++
+			break
+		}
+		// Wire inbound channels from every active upstream producer
+		// (draining producers no longer route new items).
+		for _, ek := range v.inEdges {
+			up := s.vertices[ek.Source]
+			pos := s.outEdgePos(ek)
+			for _, p := range up.tasks {
+				s.connect(ek, p, t, pos)
+			}
+		}
+		// Wire outbound channels to every active downstream consumer.
+		for pos, ek := range v.outEdges {
+			down := s.vertices[ek.Target]
+			for _, c := range down.tasks {
+				s.connect(ek, t, c, pos)
+			}
+		}
+		v.tasks = append(v.tasks, t)
+		added++
+		// Start source emission / timers for the new task.
+		s.startTask(t)
+	}
+	return added
+}
+
+// removeTasks shrinks the vertex by n tasks (the most recently added
+// ones): they leave the routing tables immediately and drain their queues
+// before disposal.
+func (v *simVertex) removeTasks(n int) {
+	s := v.sim
+	for i := 0; i < n && len(v.tasks) > 0; i++ {
+		t := v.tasks[len(v.tasks)-1]
+		v.tasks = v.tasks[:len(v.tasks)-1]
+		t.draining = true
+		v.draining[t] = struct{}{}
+
+		// Unroute: remove the channels leading to t from every producer's
+		// gate. The channels stay alive for in-flight data.
+		for _, ch := range t.in {
+			s.unrouteChannel(ch)
+		}
+		if t.isSource {
+			t.srcStopped = true
+		}
+		s.maybeStart(t)
+		s.tryDispose(t)
+	}
+}
+
+// unrouteChannel removes ch from its producer gate's active consumer
+// list; key-pinned buffered items are flushed to their original target so
+// nothing is stranded.
+func (s *Sim) unrouteChannel(ch *simChannel) {
+	p := ch.from
+	for _, g := range p.gates {
+		if g.edge != ch.edge {
+			continue
+		}
+		for i, c := range g.channels {
+			if c == ch {
+				g.channels = append(g.channels[:i], g.channels[i+1:]...)
+				g.rrInit = false // consumer set changed: re-draw offset
+				if buf, ok := g.perChan[ch]; ok {
+					if len(buf.items) > 0 {
+						s.flushBuf(g, buf, ch)
+					}
+					delete(g.perChan, ch)
+				}
+				return
+			}
+		}
+	}
+}
+
+// finalizeRemoval cleans up a fully drained task.
+func (v *simVertex) finalizeRemoval(t *simTask) {
+	s := v.sim
+	s.accountUsage() // integrate usage before the task count drops
+	s.retiredBusy += t.busyAccum
+	delete(v.draining, t)
+	if err := s.scheduler.Unplace(t.id); err != nil {
+		s.fail("unplacing %s: %v", t.id, err)
+	}
+	t.mgr.Forget(t.id)
+	// Close and unregister the task's channels (both directions).
+	for _, ch := range t.in {
+		ch.closed = true
+		ch.mgr.ForgetChannel(ch.id)
+	}
+	for _, g := range t.gates {
+		for _, ch := range g.channels {
+			ch.closed = true
+			ch.mgr.ForgetChannel(ch.id)
+			// Remove from the consumer's in-list.
+			to := ch.to
+			for i, c := range to.in {
+				if c == ch {
+					to.in = append(to.in[:i], to.in[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	s.compactChannels()
+}
+
+// compactChannels drops closed channels from the registry (amortized).
+func (s *Sim) compactChannels() {
+	s.closedChannels++
+	if s.closedChannels < 256 || s.closedChannels*2 < len(s.channels) {
+		return
+	}
+	alive := s.channels[:0]
+	for _, ch := range s.channels {
+		if !ch.closed {
+			alive = append(alive, ch)
+		}
+	}
+	s.channels = alive
+	s.closedChannels = 0
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// millerRabinBases is a deterministic base set proving primality for all
+// n < 3,317,044,064,679,887,385,961,981 — in particular for every uint64.
+var millerRabinBases = [...]uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+
+// mulMod returns a·b mod m without overflow using 128-bit intermediate
+// arithmetic.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// powMod returns base^exp mod m.
+func powMod(base, exp, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = mulMod(result, base, m)
+		}
+		base = mulMod(base, base, m)
+		exp >>= 1
+	}
+	return result
+}
+
+// IsProbablePrime runs the deterministic Miller–Rabin test. For uint64
+// inputs the result is exact, but the cost profile matches the probable-
+// prime testing the PrimeTester job performs (Section III-A): a
+// compute-intensive, per-item operation whose cost varies with the input.
+func IsProbablePrime(n uint64) bool {
+	switch {
+	case n < 2:
+		return false
+	case n < 4:
+		return true
+	case n&1 == 0:
+		return false
+	}
+	// Write n−1 = d·2^r with d odd.
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	for _, a := range millerRabinBases {
+		if a%n == 0 {
+			continue
+		}
+		x := powMod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		composite := true
+		for i := 0; i < r-1; i++ {
+			x = mulMod(x, x, n)
+			if x == n-1 {
+				composite = false
+				break
+			}
+		}
+		if composite {
+			return false
+		}
+	}
+	return true
+}
+
+// NumberSource produces the random candidate numbers the PrimeTester
+// job's Source tasks emit. Numbers are drawn uniformly from [lo, hi] so
+// the primality-test cost distribution is stable across runs with the
+// same seed.
+type NumberSource struct {
+	rng  *rand.Rand
+	lo   uint64
+	span uint64
+}
+
+// NewNumberSource creates a source of candidates in [lo, hi], hi > lo.
+func NewNumberSource(lo, hi uint64, seed int64) *NumberSource {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &NumberSource{
+		rng:  rand.New(rand.NewSource(seed)),
+		lo:   lo,
+		span: hi - lo,
+	}
+}
+
+// Next returns the next candidate number.
+func (s *NumberSource) Next() uint64 {
+	return s.lo + s.rng.Uint64()%(s.span+1)
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsProbablePrimeSmallNumbers(t *testing.T) {
+	primes := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		6: false, 7: true, 9: false, 11: true, 15: false, 17: true,
+		25: false, 97: true, 561: false /* Carmichael */, 1105: false,
+		7919: true, 7920: false,
+	}
+	for n, want := range primes {
+		if got := IsProbablePrime(n); got != want {
+			t.Errorf("IsProbablePrime(%d): got %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsProbablePrimeLargeKnown(t *testing.T) {
+	tests := []struct {
+		n    uint64
+		want bool
+	}{
+		{n: 18446744073709551557, want: true},  // largest prime < 2^64
+		{n: 18446744073709551615, want: false}, // 2^64 − 1 = 3·5·17·257·641·65537·6700417
+		{n: 2862933555777941757, want: false},
+		{n: 9223372036854775783, want: true}, // largest prime < 2^63
+	}
+	for _, tt := range tests {
+		if got := IsProbablePrime(tt.n); got != tt.want {
+			t.Errorf("IsProbablePrime(%d): got %v, want %v", tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestIsProbablePrimeAgainstBigInt cross-checks random inputs against
+// math/big's ProbablyPrime, which is exact for uint64 inputs.
+func TestIsProbablePrimeAgainstBigInt(t *testing.T) {
+	prop := func(n uint64) bool {
+		want := new(big.Int).SetUint64(n).ProbablyPrime(0)
+		return IsProbablePrime(n) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulModMatchesBigInt(t *testing.T) {
+	prop := func(a, b, m uint64) bool {
+		if m == 0 {
+			return true
+		}
+		got := mulMod(a, b, m)
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, new(big.Int).SetUint64(m))
+		return got == want.Uint64()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowModMatchesBigInt(t *testing.T) {
+	prop := func(base, exp, m uint64) bool {
+		if m == 0 {
+			return true
+		}
+		exp %= 10000 // keep big.Int exponentiation cheap
+		got := powMod(base, exp, m)
+		want := new(big.Int).Exp(
+			new(big.Int).SetUint64(base),
+			new(big.Int).SetUint64(exp),
+			new(big.Int).SetUint64(m))
+		return got == want.Uint64()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumberSourceRangeAndDeterminism(t *testing.T) {
+	a := NewNumberSource(1000, 2000, 5)
+	b := NewNumberSource(1000, 2000, 5)
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatal("same seed must give same sequence")
+		}
+		if x < 1000 || x > 2000 {
+			t.Fatalf("value %d outside [1000, 2000]", x)
+		}
+	}
+}
+
+func TestNumberSourceDegenerateRange(t *testing.T) {
+	s := NewNumberSource(5, 5, 1)
+	for i := 0; i < 10; i++ {
+		if v := s.Next(); v < 5 || v > 6 {
+			t.Fatalf("degenerate range produced %d", v)
+		}
+	}
+}
+
+func BenchmarkIsProbablePrime(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	nums := make([]uint64, 1024)
+	for i := range nums {
+		nums[i] = rng.Uint64() | 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IsProbablePrime(nums[i%len(nums)])
+	}
+}
