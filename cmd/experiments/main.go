@@ -1,11 +1,12 @@
 // Command experiments regenerates the paper's evaluation: every measured
 // figure and table (Figure 3, Figure 5, Figure 6, the Section V-A
-// task-hours sweep, Figure 8), writing CSV time series and printing the
-// shape checks against the paper's reported results.
+// task-hours sweep, Figure 8) plus the fault-injection recovery run,
+// writing CSV time series and printing the shape checks against the
+// paper's reported results.
 //
 // Usage:
 //
-//	experiments [-out DIR] [-paper] [fig3|fig5|fig6|taskhours|fig8|all]
+//	experiments [-out DIR] [-paper] [fig3|fig5|fig6|taskhours|fig8|faults|all]
 //
 // Without -paper the quick (laptop-scale) variants run; -paper uses the
 // full 130-node topology and 60 s steps (minutes of wall-clock time).
@@ -80,8 +81,15 @@ func run(outDir string, paper bool, which string) error {
 		}
 		failures += n
 	}
-	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|all)", which)
+	if all || which == "faults" {
+		n, err := runFaults(outDir, paper)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" {
+		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|all)", which)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d shape check(s) failed", failures)
@@ -195,6 +203,23 @@ func runTaskHours(outDir string, paper bool) (int, error) {
 			strconv.FormatFloat(res.Fulfillment[i], 'f', 3, 64))
 	}
 	fmt.Printf("  wrote %s\n", path)
+	return n, nil
+}
+
+func runFaults(outDir string, paper bool) (int, error) {
+	opts := experiments.FaultsQuick()
+	if paper {
+		opts = experiments.FaultsPaper()
+	}
+	start := time.Now()
+	res, err := experiments.RunFaults(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Fault injection: tester-task kill mid-plateau, elastic recovery", res.Checks, time.Since(start))
+	if err := writeCSV(filepath.Join(outDir, "faults.csv"), res.Rows, float64(opts.Scale)); err != nil {
+		return n, err
+	}
 	return n, nil
 }
 

@@ -39,6 +39,7 @@ type ResourceManager struct {
 	slotsPerNode int
 	leased       map[string]*Node
 	nextID       int
+	failed       int
 }
 
 // NewResourceManager creates a manager for a pool of poolSize worker
@@ -82,6 +83,25 @@ func (rm *ResourceManager) Release(id string) error {
 	delete(rm.leased, id)
 	return nil
 }
+
+// Fail revokes the lease of a node that has been declared dead. Unlike
+// Release it succeeds even while slots are occupied: the node is gone,
+// whatever ran on it is gone with it. The pool slot is freed so a
+// replacement node can be leased; billing for the node stops because it
+// no longer counts toward Leased(). Failing an unknown node returns an
+// error so callers notice double-failures.
+func (rm *ResourceManager) Fail(id string) error {
+	if _, ok := rm.leased[id]; !ok {
+		return fmt.Errorf("cluster: fail of unknown node %q", id)
+	}
+	delete(rm.leased, id)
+	rm.failed++
+	return nil
+}
+
+// Failed returns the number of nodes that have been declared dead via
+// Fail since the manager was created.
+func (rm *ResourceManager) Failed() int { return rm.failed }
 
 // Leased returns the number of currently leased nodes.
 func (rm *ResourceManager) Leased() int { return len(rm.leased) }
@@ -156,6 +176,29 @@ func (s *Scheduler) Unplace(task model.TaskID) error {
 		}
 	}
 	return nil
+}
+
+// FailNode handles the death of a worker node: it revokes the node's
+// lease (even with occupied slots) and returns the tasks that were
+// placed on it, sorted for determinism, so the caller can reschedule
+// them onto surviving nodes. The orphaned tasks are removed from the
+// placement map — from the scheduler's point of view they no longer run
+// anywhere and can be Placed again.
+func (s *Scheduler) FailNode(id string) ([]model.TaskID, error) {
+	orphans := s.TasksOnNode(id)
+	if err := s.rm.Fail(id); err != nil {
+		return nil, err
+	}
+	for _, t := range orphans {
+		delete(s.placements, t)
+	}
+	for i, oid := range s.order {
+		if oid == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	return orphans, nil
 }
 
 // NodeOf returns the node id a task is placed on.

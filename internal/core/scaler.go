@@ -49,6 +49,14 @@ type ConstraintDecision struct {
 	Parallelism map[string]int
 	// Skipped is true when the summary did not cover the sequence yet.
 	Skipped bool
+	// Coverage is the fraction of the sequence's task slots with fresh
+	// QoS reports (set by ElasticScaler.Decide when MinCoverage is
+	// enabled).
+	Coverage float64
+	// LowCoverage is true when Coverage fell below the scaler's
+	// MinCoverage threshold, holding scale-downs for this sequence's
+	// vertices.
+	LowCoverage bool
 }
 
 // Decision is the aggregate outcome of one ScaleReactively invocation.
@@ -178,6 +186,16 @@ type ScalerConfig struct {
 	// scale-downs keep the measurement loop stable. Set to 1 for the
 	// paper-literal behavior.
 	MaxScaleDownFraction float64
+	// MinCoverage is the minimum fraction of a constrained sequence's
+	// task slots that must have fresh QoS reports for the scaler to act
+	// on scale-downs for that sequence's vertices (0 disables). Stale
+	// summaries under-report load — dead reporters keep contributing old
+	// averages while their actual share of the traffic is redistributed —
+	// so acting on them would remove capacity exactly when tasks just
+	// crashed. Scale-ups (including bottleneck resolution) are never
+	// held: adding capacity under uncertainty is safe, removing it is
+	// not.
+	MinCoverage float64
 }
 
 // DefaultScalerConfig returns the paper's evaluation configuration with
@@ -187,6 +205,7 @@ func DefaultScalerConfig() ScalerConfig {
 		Strategy:             DefaultStrategyConfig(),
 		InactivityIntervals:  2,
 		MaxScaleDownFraction: 0.5,
+		MinCoverage:          0.5,
 	}
 }
 
@@ -199,9 +218,10 @@ type ElasticScaler struct {
 	constraints []*model.Constraint
 	cooldown    int
 	// counters for reports
-	decisions  int
-	scaleUps   int
-	scaleDowns int
+	decisions      int
+	scaleUps       int
+	scaleDowns     int
+	heldScaleDowns int
 }
 
 // NewElasticScaler creates a scaler for the given job and constraints.
@@ -234,6 +254,7 @@ func (e *ElasticScaler) Decide(s *qos.Summary, current map[string]int) (*Decisio
 	}
 	e.applyDeadBand(d, current)
 	e.clampScaleDowns(d, current)
+	e.holdLowCoverageScaleDowns(d, s, current)
 	e.decisions++
 	for _, a := range d.Actions {
 		if a.IsScaleUp() {
@@ -315,8 +336,44 @@ func (e *ElasticScaler) clampScaleDowns(d *Decision, current map[string]int) {
 	}
 }
 
+// holdLowCoverageScaleDowns reverts parallelism reductions for vertices
+// of sequences whose QoS coverage is below MinCoverage. Scale-ups pass
+// through untouched so ResolveBottlenecks still works off whatever
+// measurements remain.
+func (e *ElasticScaler) holdLowCoverageScaleDowns(d *Decision, s *qos.Summary, current map[string]int) {
+	min := e.cfg.MinCoverage
+	if min <= 0 {
+		return
+	}
+	changed := false
+	for i := range d.PerConstraint {
+		cd := &d.PerConstraint[i]
+		cd.Coverage = s.SequenceCoverage(cd.Constraint.Sequence)
+		if cd.Coverage >= min {
+			continue
+		}
+		cd.LowCoverage = true
+		for _, name := range cd.Constraint.Sequence.Vertices() {
+			to, ok := d.Desired[name]
+			from, cur := current[name]
+			if ok && cur && to < from {
+				d.Desired[name] = from
+				e.heldScaleDowns++
+				changed = true
+			}
+		}
+	}
+	if changed {
+		d.Actions = model.DiffParallelism(current, d.Desired)
+	}
+}
+
 // Stats returns (decisions, scale-ups, scale-downs) counters for
 // reporting.
 func (e *ElasticScaler) Stats() (decisions, ups, downs int) {
 	return e.decisions, e.scaleUps, e.scaleDowns
 }
+
+// HeldScaleDowns returns how many per-vertex scale-downs were held back
+// because the constraint's sequence coverage was below MinCoverage.
+func (e *ElasticScaler) HeldScaleDowns() int { return e.heldScaleDowns }

@@ -48,6 +48,7 @@ func newScalerFixture(t *testing.T, lambda, svc float64, p int, bound time.Durat
 		InterarrivalMean: 1 / lambda,
 		InterarrivalCV:   1.0,
 		Parallelism:      p,
+		FreshTasks:       p, // all reporters alive
 	}
 	s.Edges[model.EdgeKey{Source: "src", Target: "work"}] = qos.EdgeStats{ChannelLatency: 0.004, OutputBatchLatency: 0.002}
 	s.Edges[model.EdgeKey{Source: "work", Target: "sink"}] = qos.EdgeStats{ChannelLatency: 0.001, OutputBatchLatency: 0.0005}
@@ -296,6 +297,99 @@ func TestElasticScalerDeadBand(t *testing.T) {
 	}
 	if len(d1.Actions) != 0 {
 		t.Errorf("dead band did not suppress small change %d -> %d: %v", 16, want, d1.Actions)
+	}
+}
+
+func TestElasticScalerHoldsScaleDownOnLowCoverage(t *testing.T) {
+	// Light load at p=64 wants a scale-down, but the summary is
+	// synthetically truncated: only 16 of the 64 work tasks have fresh
+	// reports (the rest just crashed). Coverage 0.25 < MinCoverage 0.5
+	// must hold the scale-down.
+	f := newScalerFixture(t, 10, 0.001, 64, 20*time.Millisecond)
+	v := f.summary.Vertices["work"]
+	v.FreshTasks = 16
+	f.summary.Vertices["work"] = v
+
+	sc, err := NewElasticScaler(DefaultScalerConfig(), f.g, []*model.Constraint{f.constraint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := map[string]int{"work": 64}
+	d, err := sc.Decide(f.summary, cur)
+	if err != nil || d == nil {
+		t.Fatalf("decide: d=%v err=%v", d, err)
+	}
+	if len(d.Actions) != 0 || d.Desired["work"] != 64 {
+		t.Errorf("scale-down issued under low coverage: desired=%d actions=%v", d.Desired["work"], d.Actions)
+	}
+	cd := d.PerConstraint[0]
+	if !cd.LowCoverage || !almostEqual(cd.Coverage, 0.25, 1e-12) {
+		t.Errorf("coverage not recorded: %+v", cd)
+	}
+	if sc.HeldScaleDowns() != 1 {
+		t.Errorf("HeldScaleDowns: got %d, want 1", sc.HeldScaleDowns())
+	}
+
+	// Once the reporters are back (fresh == parallelism), the same load
+	// does scale down.
+	v.FreshTasks = 64
+	f.summary.Vertices["work"] = v
+	d, err = sc.Decide(f.summary, cur)
+	if err != nil || d == nil {
+		t.Fatalf("recovered decide: d=%v err=%v", d, err)
+	}
+	if d.Desired["work"] >= 64 {
+		t.Errorf("scale-down still held after coverage recovered: %d", d.Desired["work"])
+	}
+}
+
+func TestElasticScalerLowCoverageAllowsScaleUp(t *testing.T) {
+	// A bottleneck with most reporters dead: the scale-up must go
+	// through even though coverage is far below the threshold.
+	f := newScalerFixture(t, 150, 0.01, 8, 20*time.Millisecond) // ρ = 1.5
+	v := f.summary.Vertices["work"]
+	v.FreshTasks = 1
+	f.summary.Vertices["work"] = v
+
+	sc, err := NewElasticScaler(DefaultScalerConfig(), f.g, []*model.Constraint{f.constraint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sc.Decide(f.summary, map[string]int{"work": 8})
+	if err != nil || d == nil {
+		t.Fatalf("decide: d=%v err=%v", d, err)
+	}
+	if !d.HasScaleUp() {
+		t.Error("low coverage suppressed a bottleneck scale-up")
+	}
+	if !d.PerConstraint[0].LowCoverage {
+		t.Error("low coverage not flagged on the decision")
+	}
+	if sc.HeldScaleDowns() != 0 {
+		t.Errorf("HeldScaleDowns: got %d, want 0", sc.HeldScaleDowns())
+	}
+}
+
+func TestElasticScalerCoverageDisabled(t *testing.T) {
+	// MinCoverage = 0 disables the hold: stale summaries scale down as
+	// before (backwards compatibility for struct-literal configs).
+	f := newScalerFixture(t, 10, 0.001, 64, 20*time.Millisecond)
+	v := f.summary.Vertices["work"]
+	v.FreshTasks = 0
+	f.summary.Vertices["work"] = v
+
+	cfg := DefaultScalerConfig()
+	cfg.MinCoverage = 0
+	sc, err := NewElasticScaler(cfg, f.g, []*model.Constraint{f.constraint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sc.Decide(f.summary, map[string]int{"work": 64})
+	if err != nil || d == nil {
+		t.Fatalf("decide: d=%v err=%v", d, err)
+	}
+	if d.Desired["work"] >= 64 {
+		t.Errorf("disabled coverage gate still held the scale-down: %d", d.Desired["work"])
 	}
 }
 

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes exponential restart delays with multiplicative jitter:
+// base·2^attempt, capped, then scaled by a random factor in
+// [1−Jitter, 1+Jitter]. The jitter source is injected so supervisors are
+// deterministic under a fixed seed (and testable without sleeping).
+type Backoff struct {
+	base    time.Duration
+	cap     time.Duration
+	jitter  float64
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff creates a backoff policy. jitter is a fraction (0.2 → ±20%);
+// values outside [0, 1) disable jitter. src must not be nil.
+func NewBackoff(base, cap time.Duration, jitter float64, src rand.Source) *Backoff {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	if jitter < 0 || jitter >= 1 {
+		jitter = 0
+	}
+	return &Backoff{base: base, cap: cap, jitter: jitter, rng: rand.New(src)}
+}
+
+// Next returns the delay for the current attempt and advances the
+// counter. The exponential is computed before jitter, so the cap bounds
+// the mean delay; with jitter j the worst case is cap·(1+j).
+func (b *Backoff) Next() time.Duration {
+	d := b.base << uint(b.attempt)
+	if d > b.cap || d <= 0 { // d <= 0 catches shift overflow
+		d = b.cap
+	}
+	b.attempt++
+	if b.jitter > 0 {
+		f := 1 + b.jitter*(2*b.rng.Float64()-1)
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// Reset clears the attempt counter after a period of stability, so a
+// task that crashes again much later starts from the base delay.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempts returns the number of Next calls since the last Reset.
+func (b *Backoff) Attempts() int { return b.attempt }

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffExponentialAndCap(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 80*time.Millisecond, 0, rand.NewSource(1))
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Errorf("attempt %d: got %v, want %v", i, got, w)
+		}
+	}
+	if b.Attempts() != len(want) {
+		t.Errorf("Attempts() = %d, want %d", b.Attempts(), len(want))
+	}
+}
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	mk := func() *Backoff {
+		return NewBackoff(10*time.Millisecond, time.Second, 0.2, rand.NewSource(42))
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 12; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	base, cap := 10*time.Millisecond, 160*time.Millisecond
+	b := NewBackoff(base, cap, 0.5, rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		nominal := base << uint(i)
+		if nominal > cap || nominal <= 0 {
+			nominal = cap
+		}
+		got := b.Next()
+		lo := time.Duration(float64(nominal) * 0.5)
+		hi := time.Duration(float64(nominal) * 1.5)
+		if got < lo || got > hi {
+			t.Fatalf("attempt %d: %v outside jitter band [%v, %v]", i, got, lo, hi)
+		}
+	}
+}
+
+func TestBackoffReset(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, time.Second, 0, rand.NewSource(1))
+	for i := 0; i < 4; i++ {
+		b.Next()
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Errorf("Attempts() after Reset = %d, want 0", b.Attempts())
+	}
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Errorf("first delay after Reset = %v, want base 10ms", got)
+	}
+}
+
+func TestBackoffDegenerateInputs(t *testing.T) {
+	// Non-positive base falls back to 1ms; cap below base is raised to
+	// base; jitter outside [0, 1) is disabled.
+	b := NewBackoff(0, 0, 1.5, rand.NewSource(1))
+	if got := b.Next(); got != time.Millisecond {
+		t.Errorf("degenerate base: first delay = %v, want 1ms", got)
+	}
+	for i := 0; i < 8; i++ {
+		if got := b.Next(); got != time.Millisecond {
+			t.Errorf("degenerate cap: delay = %v, want 1ms (cap == base)", got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,17 @@ type Config struct {
 	RecordInterval time.Duration
 	// Seed drives task-local randomness.
 	Seed int64
+	// MaxTaskRestarts caps consecutive supervised restarts per vertex
+	// (default 5). When a vertex's tasks keep crashing past the cap the
+	// vertex is marked degraded and the job shuts down cleanly with an
+	// error instead of deadlocking on a dead pipeline stage.
+	MaxTaskRestarts int
+	// RestartBackoff is the supervisor's initial restart delay
+	// (default 25 ms); it doubles per consecutive failure.
+	RestartBackoff time.Duration
+	// RestartBackoffCap bounds the exponential restart delay
+	// (default 1 s).
+	RestartBackoffCap time.Duration
 }
 
 // withDefaults fills zero values.
@@ -78,6 +90,15 @@ func (c Config) withDefaults() Config {
 	if c.Scaler.Strategy == (core.StrategyConfig{}) {
 		c.Scaler = core.DefaultScalerConfig()
 		c.Scaler.InactivityIntervals = 2
+	}
+	if c.MaxTaskRestarts <= 0 {
+		c.MaxTaskRestarts = 5
+	}
+	if c.RestartBackoff <= 0 {
+		c.RestartBackoff = 25 * time.Millisecond
+	}
+	if c.RestartBackoffCap <= 0 {
+		c.RestartBackoffCap = time.Second
 	}
 	return c
 }
@@ -117,9 +138,12 @@ func (e *Engine) Submit(spec *JobSpec, probes *probe.ProbeSet) (*Execution, erro
 		edgePos:   make(map[model.EdgeKey]int),
 		modes:     make(map[string]model.LatencyMode),
 		deadlines: make(map[model.EdgeKey]time.Duration),
-		reports:   make(chan any, 4096),
-		stopCh:    make(chan struct{}),
-		doneCh:    make(chan struct{}),
+		reports:     make(chan any, 4096),
+		failures:    make(chan taskFailure, 1024),
+		restarts:    make(chan string, 1024),
+		supervisors: make(map[string]*supervisor),
+		stopCh:      make(chan struct{}),
+		doneCh:      make(chan struct{}),
 	}
 	ex.controller = qos.NewBatchingController(e.cfg.Scaler.Strategy.Batching)
 	ex.controller.SetElastic(e.cfg.Elastic)
@@ -200,12 +224,36 @@ type execution struct {
 	probes  *probe.ProbeSet
 	reports chan any
 
+	// Supervision: tasks announce panics on failures (before their exit
+	// hook runs), the master schedules restarts onto restarts after a
+	// backoff delay. supervisors is master-goroutine-only state.
+	failures    chan taskFailure
+	restarts    chan string
+	supervisors map[string]*supervisor
+
 	emitted        atomic.Int64
 	droppedReports atomic.Int64
 	scaleUps       atomic.Int64
 	scaleDowns     atomic.Int64
 
+	taskFailures atomic.Int64
+	taskRestarts atomic.Int64
+	lostRecords  atomic.Int64
+	// dropNoConsumer counts records dropped because a gate had no
+	// consumers; gates hold a pointer to it (they have no execution
+	// back-pointer). Zero in healthy executions.
+	dropNoConsumer atomic.Int64
+	// pendingRecovery counts crashed tasks whose restart has not landed
+	// yet. Incremented by the crashing task before its exit hook
+	// decrements the live counters, so the master never mistakes a
+	// crashed-but-restarting source for "all sources finished".
+	pendingRecovery atomic.Int32
+
 	lastSummary atomic.Pointer[qos.Summary]
+
+	// failErr is the terminal failure (degraded vertex); written by the
+	// master loop before doneCh closes, read after Wait returns.
+	failErr error
 
 	rowsMu sync.Mutex
 	rows   []Row
@@ -215,6 +263,19 @@ type execution struct {
 	stopOnce    sync.Once
 	stopCh      chan struct{}
 	doneCh      chan struct{}
+}
+
+// taskFailure is a task goroutine's dying message to the master.
+type taskFailure struct {
+	t      *task
+	reason any
+}
+
+// supervisor is the master's per-vertex restart state.
+type supervisor struct {
+	backoff     *Backoff
+	lastFailure time.Time
+	degraded    bool
 }
 
 // Row is one record-interval sample of a live execution's time series.
@@ -361,6 +422,10 @@ func (ex *execution) taskDone(t *task) {
 	}
 	vs.refreshCount()
 	ex.mu.Unlock()
+	// Unblock producers shipping into this task's queue; reportFailure
+	// (if any) already ran, so pendingRecovery covers the gap before the
+	// source counter drops.
+	close(t.dead)
 	if t.src != nil {
 		ex.sourcesLeft.Add(-1)
 	}
@@ -407,6 +472,10 @@ func (ex *execution) masterLoop() {
 		select {
 		case msg := <-ex.reports:
 			ex.consumeReport(msg)
+		case f := <-ex.failures:
+			ex.handleTaskFailure(f, stopping)
+		case vertex := <-ex.restarts:
+			ex.restartTask(vertex, stopping)
 		case <-adjust.C:
 			ex.adjustTick()
 		case <-recordC:
@@ -432,8 +501,143 @@ func (ex *execution) masterLoop() {
 			// quiescence checks above.
 			ex.stopSources()
 		}
-		if !stopping && ex.sourcesLeft.Load() == 0 {
+		// pendingRecovery keeps a crashed source counted until its
+		// replacement launches, so a transient sourcesLeft == 0 during a
+		// restart cannot end the job early.
+		if !stopping && ex.sourcesLeft.Load() == 0 && ex.pendingRecovery.Load() == 0 {
 			stopping = true
+		}
+	}
+}
+
+// reportFailure is called from a dying task goroutine's recover handler,
+// before taskDone tears the task down. It must never block forever: if
+// the failure queue is full (pathological crash storm) the failure is
+// counted but the task stays down.
+func (ex *execution) reportFailure(t *task, reason any) {
+	ex.taskFailures.Add(1)
+	ex.pendingRecovery.Add(1)
+	select {
+	case ex.failures <- taskFailure{t: t, reason: reason}:
+	default:
+		ex.pendingRecovery.Add(-1)
+	}
+}
+
+// handleTaskFailure processes one crash on the master loop: the dead task
+// leaves all routing tables, its queued records are counted as lost, and
+// its vertex either gets a delayed restart or — past the restart cap —
+// degrades and fails the job.
+func (ex *execution) handleTaskFailure(f taskFailure, stopping bool) {
+	ex.mu.Lock()
+	g := ex.spec.graph
+	for _, ek := range g.InEdges(f.t.id.Vertex) {
+		pos := ex.edgePos[ek]
+		for _, p := range ex.vertices[ek.Source].tasks {
+			p.gates[pos].removeConsumer(f.t)
+		}
+	}
+	ex.mu.Unlock()
+	// Whatever was queued for the dead task is gone with it.
+	for {
+		select {
+		case b := <-f.t.in:
+			ex.lostRecords.Add(int64(len(b.items)))
+		default:
+			if stopping {
+				ex.pendingRecovery.Add(-1)
+				return
+			}
+			ex.superviseFailure(f.t.id.Vertex, f.reason)
+			return
+		}
+	}
+}
+
+// superviseFailure advances a vertex's restart state (master loop only):
+// schedule a backoff-delayed restart, or degrade past the cap. The
+// caller has already incremented pendingRecovery for this failure.
+func (ex *execution) superviseFailure(vertex string, reason any) {
+	sup := ex.supervisors[vertex]
+	if sup == nil {
+		sup = &supervisor{backoff: NewBackoff(
+			ex.cfg.RestartBackoff, ex.cfg.RestartBackoffCap, 0.2,
+			rand.NewSource(ex.cfg.Seed^int64(len(vertex))*1099511628211),
+		)}
+		ex.supervisors[vertex] = sup
+	}
+	sup.lastFailure = time.Now()
+	if sup.degraded || sup.backoff.Attempts() >= ex.cfg.MaxTaskRestarts {
+		sup.degraded = true
+		ex.pendingRecovery.Add(-1)
+		if ex.failErr == nil {
+			ex.failErr = fmt.Errorf("engine: vertex %q degraded after %d failed restarts (last failure: %v)",
+				vertex, ex.cfg.MaxTaskRestarts, reason)
+		}
+		ex.stopOnce.Do(func() { close(ex.stopCh) })
+		return
+	}
+	delay := sup.backoff.Next()
+	time.AfterFunc(delay, func() {
+		select {
+		case ex.restarts <- vertex:
+		case <-ex.doneCh:
+		}
+	})
+}
+
+// restartTask replaces one crashed task of a vertex (master loop only).
+func (ex *execution) restartTask(vertex string, stopping bool) {
+	if stopping {
+		ex.pendingRecovery.Add(-1)
+		return
+	}
+	ex.mu.Lock()
+	ex.accountUsageLocked()
+	t, err := ex.createTask(vertex)
+	if err == nil {
+		ex.wireTaskLocked(t)
+	}
+	ex.mu.Unlock()
+	if err != nil {
+		// Placement failed (pool exhausted by concurrent scale-ups):
+		// treat as another failure so the backoff keeps climbing toward
+		// the degradation cap instead of spinning.
+		ex.superviseFailure(vertex, err)
+		return
+	}
+	ex.taskRestarts.Add(1)
+	ex.launch(t)
+	ex.pendingRecovery.Add(-1)
+}
+
+// wireTaskLocked connects a fresh task to live upstream producers and
+// downstream consumers (caller holds ex.mu).
+func (ex *execution) wireTaskLocked(t *task) {
+	g := ex.spec.graph
+	vertex := t.id.Vertex
+	for _, ek := range g.InEdges(vertex) {
+		pos := ex.edgePos[ek]
+		for _, p := range ex.vertices[ek.Source].tasks {
+			if p == t || p.draining.Load() {
+				continue
+			}
+			p.gates[pos].addConsumer(&channelRef{
+				id: model.ChannelID{Edge: ek, Producer: p.id.Index, Consumer: t.id.Index},
+				to: t,
+			})
+		}
+	}
+	for _, ek := range g.OutEdges(vertex) {
+		pos := ex.edgePos[ek]
+		for _, c := range ex.vertices[ek.Target].tasks {
+			if c.draining.Load() {
+				continue
+			}
+			t.gates[pos].addConsumer(&channelRef{
+				id: model.ChannelID{Edge: ek, Producer: t.id.Index, Consumer: c.id.Index},
+				to: c,
+			})
 		}
 	}
 }
@@ -514,6 +718,16 @@ func (ex *execution) adjustTick() {
 	summary := qos.MergePartials(par, ex.manager.PartialSummary())
 	ex.lastSummary.Store(summary)
 
+	// Reset-on-success: a vertex that survived a full adjustment interval
+	// since its last crash earns its base backoff back (adjustTick runs
+	// on the master loop, same goroutine as the supervisors).
+	for _, sup := range ex.supervisors {
+		if !sup.degraded && !sup.lastFailure.IsZero() &&
+			time.Since(sup.lastFailure) >= ex.cfg.AdjustmentInterval {
+			sup.backoff.Reset()
+		}
+	}
+
 	if len(ex.spec.constraints) > 0 {
 		deadlines := ex.controller.Update(summary, ex.spec.constraints)
 		ex.applyDeadlines(deadlines)
@@ -563,38 +777,12 @@ func (ex *execution) scaleUp(vertex string, n int) {
 	ex.mu.Lock()
 	defer ex.mu.Unlock()
 	ex.accountUsageLocked()
-	g := ex.spec.graph
 	for i := 0; i < n; i++ {
 		t, err := ex.createTask(vertex)
 		if err != nil {
 			return // pool exhausted; keep what we have
 		}
-		// Inbound wiring from live upstream producers.
-		for _, ek := range g.InEdges(vertex) {
-			pos := ex.edgePos[ek]
-			for _, p := range ex.vertices[ek.Source].tasks {
-				if p == t || p.draining.Load() {
-					continue
-				}
-				p.gates[pos].addConsumer(&channelRef{
-					id: model.ChannelID{Edge: ek, Producer: p.id.Index, Consumer: t.id.Index},
-					to: t,
-				})
-			}
-		}
-		// Outbound wiring to live downstream consumers.
-		for _, ek := range g.OutEdges(vertex) {
-			pos := ex.edgePos[ek]
-			for _, c := range ex.vertices[ek.Target].tasks {
-				if c.draining.Load() {
-					continue
-				}
-				t.gates[pos].addConsumer(&channelRef{
-					id: model.ChannelID{Edge: ek, Producer: t.id.Index, Consumer: c.id.Index},
-					to: c,
-				})
-			}
-		}
+		ex.wireTaskLocked(t)
 		ex.launch(t)
 	}
 }
@@ -669,13 +857,26 @@ type Execution struct {
 }
 
 // Wait blocks until the job finishes (sources exhausted and pipelines
-// drained), Stop is called, or the context is cancelled.
+// drained), Stop is called, or the context is cancelled. If the job
+// failed — a vertex degraded past its restart cap — Wait returns that
+// error on every call.
 func (e *Execution) Wait(ctx context.Context) error {
 	select {
 	case <-e.ex.doneCh:
-		return nil
+		return e.ex.failErr
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// Err returns the terminal failure after the execution finished (nil
+// while running or after a clean finish).
+func (e *Execution) Err() error {
+	select {
+	case <-e.ex.doneCh:
+		return e.ex.failErr
+	default:
+		return nil
 	}
 }
 
@@ -721,9 +922,20 @@ func (e *Execution) ScaleEvents() (ups, downs int64) {
 // (diagnostics; sheds accuracy, never data).
 func (e *Execution) DroppedReports() int64 { return e.ex.droppedReports.Load() }
 
-// DroppedNoConsumer returns the process-wide count of records dropped
+// TaskFailures returns how many task goroutines died to a recovered UDF
+// panic.
+func (e *Execution) TaskFailures() int64 { return e.ex.taskFailures.Load() }
+
+// TaskRestarts returns how many crashed tasks the supervisor replaced.
+func (e *Execution) TaskRestarts() int64 { return e.ex.taskRestarts.Load() }
+
+// LostRecords returns how many records died with crashed tasks (queued
+// at or in flight to a task that panicked).
+func (e *Execution) LostRecords() int64 { return e.ex.lostRecords.Load() }
+
+// DroppedNoConsumer returns how many records this execution dropped
 // because a gate had no consumers; zero in healthy executions.
-func (e *Execution) DroppedNoConsumer() int64 { return dropNoConsumer.Load() }
+func (e *Execution) DroppedNoConsumer() int64 { return e.ex.dropNoConsumer.Load() }
 
 // Rows returns the recorded time series (requires Config.RecordInterval).
 func (e *Execution) Rows() []Row {

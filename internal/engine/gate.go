@@ -37,6 +37,9 @@ type gate struct {
 	// producer re-draws its rotation offset when it observes a change.
 	consumerGen atomic.Int64
 
+	// drops points at the owning execution's no-consumer drop counter.
+	drops *atomic.Int64
+
 	// Producer-goroutine-owned state.
 	rng      *rand.Rand
 	rr       int
@@ -51,13 +54,14 @@ type gate struct {
 }
 
 // newGate builds a gate for a producer task.
-func newGate(edge model.EdgeKey, pos, producer int, pattern model.WiringPattern, maxBatch int) *gate {
+func newGate(edge model.EdgeKey, pos, producer int, pattern model.WiringPattern, maxBatch int, drops *atomic.Int64) *gate {
 	g := &gate{
 		edge:     edge,
 		pos:      pos,
 		pattern:  pattern,
 		producer: producer,
 		maxBatch: maxBatch,
+		drops:    drops,
 		rng:      rand.New(rand.NewSource(int64(producer)*2654435761 + int64(pos) + 1)),
 	}
 	if pattern == model.PatternKeyBased {
@@ -113,7 +117,7 @@ func (g *gate) removeConsumer(t *task) {
 func (g *gate) push(rec Record, now time.Time) []shipment {
 	consumers := g.snapshot()
 	if len(consumers) == 0 {
-		dropNoConsumer.Add(1)
+		g.drops.Add(1)
 		return nil
 	}
 	if g.pattern == model.PatternKeyBased {
@@ -152,7 +156,7 @@ func (g *gate) takeShared(now time.Time) []shipment {
 	}
 	consumers := g.snapshot()
 	if len(consumers) == 0 {
-		dropNoConsumer.Add(int64(len(g.buf)))
+		g.drops.Add(int64(len(g.buf)))
 		g.buf = nil
 		return nil
 	}
@@ -234,13 +238,6 @@ func mix64(x uint64) uint64 {
 	x ^= x >> 31
 	return x
 }
-
-// dropNoConsumer counts records dropped for lack of consumers. In a
-// healthy execution this stays zero (scale-down keeps at least the
-// vertex minimum routed); it is process-global because gates have no
-// back-pointer to their execution, and is exposed via
-// Execution.DroppedNoConsumer for tests and diagnostics.
-var dropNoConsumer atomic.Int64
 
 // noDeadline marks size-only flushing.
 const noDeadline = time.Duration(math.MaxInt64)

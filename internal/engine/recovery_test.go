@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nephelix/internal/model"
+	"nephelix/internal/workload"
+)
+
+// panicky forwards records downstream but panics on every Nth record
+// across all task replicas of the vertex.
+type panicky struct {
+	n     *atomic.Int64
+	every int64
+}
+
+func (p *panicky) Process(ctx *Context, rec Record) {
+	if p.n.Add(1)%p.every == 0 {
+		panic("injected UDF failure")
+	}
+	ctx.Emit(0, rec)
+}
+
+// TestEnginePanicRecovery is the headline robustness check: a UDF that
+// panics every Nth record must not crash the process. The supervisor
+// restarts the crashed tasks with backoff and the job still completes
+// cleanly.
+func TestEnginePanicRecovery(t *testing.T) {
+	g := buildChain(t, 2, 2, model.PatternRoundRobin)
+	var emitted, received, seen atomic.Int64
+
+	spec := NewJobSpec(g).
+		SetSource("src", SourceSpec{
+			Schedule: &workload.ConstantSchedule{RatePerSecond: 300, Length: 1.5},
+			Emit: func(ctx *Context) {
+				n := emitted.Add(1)
+				ctx.Emit(0, Record{Key: uint64(n)})
+			},
+		}).
+		SetUDF("work", func(int) UDF { return &panicky{n: &seen, every: 100} }).
+		SetUDF("sink", func(int) UDF { return &countingSink{count: &received} })
+
+	exec, err := New(Config{
+		Seed:              11,
+		RestartBackoff:    2 * time.Millisecond,
+		RestartBackoffCap: 10 * time.Millisecond,
+		MaxTaskRestarts:   50,
+	}).Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := exec.Wait(ctx); err != nil {
+		t.Fatalf("job should survive UDF panics, got: %v", err)
+	}
+	if exec.Err() != nil {
+		t.Errorf("Err() after clean finish = %v, want nil", exec.Err())
+	}
+	if exec.TaskFailures() == 0 {
+		t.Error("expected at least one supervised task failure")
+	}
+	if exec.TaskRestarts() == 0 {
+		t.Error("expected at least one supervised task restart")
+	}
+	if received.Load() == 0 {
+		t.Error("no records delivered after recovery")
+	}
+	// Crashed tasks lose in-flight records, never duplicate them.
+	if received.Load() > emitted.Load() {
+		t.Errorf("received %d > emitted %d", received.Load(), emitted.Load())
+	}
+}
+
+// TestEngineVertexDegradesCleanly: a vertex whose tasks keep crashing
+// past the restart cap must fail the job with an error instead of
+// deadlocking the pipeline.
+func TestEngineVertexDegradesCleanly(t *testing.T) {
+	g := buildChain(t, 1, 1, model.PatternRoundRobin)
+	var emitted, received atomic.Int64
+
+	spec := NewJobSpec(g).
+		SetSource("src", SourceSpec{
+			Schedule: &workload.ConstantSchedule{RatePerSecond: 300, Length: 10},
+			Emit: func(ctx *Context) {
+				n := emitted.Add(1)
+				ctx.Emit(0, Record{Key: uint64(n)})
+			},
+		}).
+		SetUDF("work", func(int) UDF {
+			return UDFFunc(func(*Context, Record) { panic("always down") })
+		}).
+		SetUDF("sink", func(int) UDF { return &countingSink{count: &received} })
+
+	exec, err := New(Config{
+		Seed:              12,
+		RestartBackoff:    2 * time.Millisecond,
+		RestartBackoffCap: 5 * time.Millisecond,
+		MaxTaskRestarts:   2,
+	}).Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	werr := exec.Wait(ctx)
+	if werr == nil {
+		t.Fatal("Wait returned nil for a degraded job")
+	}
+	if !strings.Contains(werr.Error(), "degraded") {
+		t.Errorf("error should name the degraded vertex cap: %v", werr)
+	}
+	if exec.Err() == nil || exec.Err().Error() != werr.Error() {
+		t.Errorf("Err() = %v, want the Wait error %v", exec.Err(), werr)
+	}
+	// Initial crash + MaxTaskRestarts failed restarts.
+	if got := exec.TaskFailures(); got < 3 {
+		t.Errorf("TaskFailures() = %d, want >= 3", got)
+	}
+}
+
+// TestEngineStopIdempotent: Stop twice and Wait on an already-stopped
+// execution must both be safe no-ops (regression for double-close).
+func TestEngineStopIdempotent(t *testing.T) {
+	g := buildChain(t, 2, 2, model.PatternRoundRobin)
+	var emitted, received atomic.Int64
+
+	spec := NewJobSpec(g).
+		SetSource("src", SourceSpec{
+			Schedule: &workload.ConstantSchedule{RatePerSecond: 200, Length: 30},
+			Emit: func(ctx *Context) {
+				emitted.Add(1)
+				ctx.Emit(0, Record{Key: uint64(emitted.Load())})
+			},
+		}).
+		SetUDF("work", func(int) UDF { return &forwarder{} }).
+		SetUDF("sink", func(int) UDF { return &countingSink{count: &received} })
+
+	exec, err := New(Config{Seed: 13}).Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	exec.Stop()
+	exec.Stop() // second call must not panic on a closed channel
+	waitDone(t, exec, 20*time.Second)
+
+	if !exec.Done() {
+		t.Error("Done() = false after Wait returned")
+	}
+	// Wait on the already-stopped execution returns immediately.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := exec.Wait(ctx); err != nil {
+		t.Errorf("Wait on stopped execution = %v, want nil", err)
+	}
+	exec.Stop() // and stopping a finished execution is still a no-op
+}

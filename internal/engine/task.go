@@ -26,6 +26,10 @@ type task struct {
 	draining atomic.Bool
 	// quit force-stops the task (execution shutdown).
 	quit chan struct{}
+	// dead closes when the task goroutine has exited (crash or drain), so
+	// producers blocked on its full input queue get out instead of
+	// hanging on a consumer that will never read again.
+	dead chan struct{}
 
 	// processed counts handled records (quiescence detection).
 	processed atomic.Int64
@@ -56,6 +60,7 @@ func newTask(ex *execution, id model.TaskID, udf UDF, src *SourceSpec, seed int6
 		in:       make(chan batch, ex.cfg.QueueCapacity),
 		rng:      rand.New(rand.NewSource(seed)),
 		quit:     make(chan struct{}),
+		dead:     make(chan struct{}),
 		reporter: qos.NewTaskReporter(id),
 		chanReps: make(map[model.ChannelID]*qos.ChannelReporter),
 	}
@@ -63,7 +68,7 @@ func newTask(ex *execution, id model.TaskID, udf UDF, src *SourceSpec, seed int6
 	outs := ex.spec.graph.OutEdges(id.Vertex)
 	t.gates = make([]*gate, len(outs))
 	for pos, ek := range outs {
-		g := newGate(ek, pos, id.Index, ex.spec.graph.Edge(ek).Pattern, ex.cfg.MaxBatchRecords)
+		g := newGate(ek, pos, id.Index, ex.spec.graph.Edge(ek).Pattern, ex.cfg.MaxBatchRecords, &ex.dropNoConsumer)
 		switch ex.spec.edgeBatching(ek) {
 		case BatchingFixed:
 			g.setDeadline(noDeadline)
@@ -98,11 +103,15 @@ func (t *task) emit(edgeIdx int, rec Record) {
 
 // ship delivers shipments, blocking on full consumer queues
 // (backpressure). Shipments to draining consumers are dropped by the
-// consumer-side idle exit, never lost while the consumer runs.
+// consumer-side idle exit, never lost while the consumer runs. A
+// consumer that died (crashed, or exited mid-drain) unblocks the
+// producer via its dead channel; those records are counted as lost.
 func (t *task) ship(shipments []shipment) {
 	for _, s := range shipments {
 		select {
 		case s.ref.to.in <- s.b:
+		case <-s.ref.to.dead:
+			t.ex.lostRecords.Add(int64(len(s.b.items)))
 		case <-t.quit:
 			return
 		}
@@ -152,6 +161,16 @@ func (t *task) handleBatch(b batch) {
 	cr.RecordTransfer(now.Sub(b.oldestBuf).Seconds(), b.shipped.Sub(b.oldestBuf).Seconds())
 
 	rw := t.ex.latencyMode(t.id.Vertex) == model.LatencyReadWrite
+	done := 0
+	defer func() {
+		if r := recover(); r != nil {
+			// A panicking UDF kills the record it was processing and the
+			// unprocessed remainder of the batch; count them as lost and
+			// let the supervisor defer in run() handle the crash.
+			t.ex.lostRecords.Add(int64(len(b.items) - done))
+			panic(r)
+		}
+	}()
 	for _, rec := range b.items {
 		t.reporter.RecordArrival(nowSeconds(time.Now()))
 		start := time.Now()
@@ -167,6 +186,7 @@ func (t *task) handleBatch(b batch) {
 			t.reporter.RecordTaskLatency(service.Seconds())
 		}
 		t.processed.Add(1)
+		done++
 	}
 }
 
@@ -184,9 +204,17 @@ func (t *task) inEdge(b batch) model.EdgeKey {
 	return model.EdgeKey{Target: t.id.Vertex}
 }
 
-// run is the worker-task main loop.
+// run is the worker-task main loop. A panicking UDF does not crash the
+// process: the supervisor defer (LIFO: it runs before taskDone) reports
+// the crash to the master, which unroutes the dead task and schedules a
+// backoff-delayed replacement.
 func (t *task) run() {
 	defer t.ex.taskDone(t)
+	defer func() {
+		if r := recover(); r != nil {
+			t.ex.reportFailure(t, r)
+		}
+	}()
 	ticker := time.NewTicker(t.ex.cfg.FlushTick)
 	defer ticker.Stop()
 
@@ -228,9 +256,16 @@ func (t *task) run() {
 	}
 }
 
-// runSource is the source-task main loop: schedule-paced emission.
+// runSource is the source-task main loop: schedule-paced emission. Like
+// run it is supervised: a panicking Emit is reported and the source
+// restarted instead of taking the process down.
 func (t *task) runSource() {
 	defer t.ex.taskDone(t)
+	defer func() {
+		if r := recover(); r != nil {
+			t.ex.reportFailure(t, r)
+		}
+	}()
 	ticker := time.NewTicker(t.ex.cfg.FlushTick)
 	defer ticker.Stop()
 

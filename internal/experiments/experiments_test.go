@@ -89,6 +89,23 @@ func TestTaskHoursReproduction(t *testing.T) {
 	}
 }
 
+func TestFaultsReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment; skipped in -short mode")
+	}
+	res, err := RunFaults(FaultsQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllPass(t, res.Checks)
+	if res.KilledTasks < 1 {
+		t.Errorf("KilledTasks = %d, want >= 1", res.KilledTasks)
+	}
+	if res.PreKillParallelism <= 0 {
+		t.Errorf("PreKillParallelism = %d, want > 0", res.PreKillParallelism)
+	}
+}
+
 func TestFig8Reproduction(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment; skipped in -short mode")

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"nephelix/internal/apps"
+	"nephelix/internal/sim"
+	"nephelix/internal/workload"
+)
+
+// FaultsOptions parameterizes the fault-injection experiment: the
+// elastic PrimeTester of Figure 6 with a fraction of its tester tasks
+// killed mid-plateau. The victims' QoS histories go stale (their
+// reporters die with them), the coverage-gated scaler must not react to
+// the partial summaries with latency-violating scale-downs, and
+// constraint fulfillment has to recover within a bounded number of
+// adjustment intervals once the scaler restores capacity.
+type FaultsOptions struct {
+	// Scale divides task counts and rates (reported values scaled back).
+	Scale int
+	// StepDuration is the phase-step length in seconds.
+	StepDuration float64
+	// KillFraction is the fraction of PrimeTester tasks killed at the
+	// middle of the plateau (default 0.10).
+	KillFraction float64
+	// RecoveryBudget is the number of adjustment intervals after the
+	// kill within which a fulfilled interval must occur (default 6).
+	RecoveryBudget int
+	Seed           int64
+}
+
+// FaultsQuick returns the laptop-scale configuration.
+func FaultsQuick() FaultsOptions {
+	return FaultsOptions{Scale: 8, StepDuration: 20, KillFraction: 0.10, RecoveryBudget: 6, Seed: 1}
+}
+
+// FaultsPaper returns the paper-scale configuration.
+func FaultsPaper() FaultsOptions {
+	return FaultsOptions{Scale: 1, StepDuration: 60, KillFraction: 0.10, RecoveryBudget: 6, Seed: 1}
+}
+
+// FaultsResult aggregates the faulted elastic run and its checks.
+type FaultsResult struct {
+	Options FaultsOptions
+
+	Rows []sim.Row
+
+	// KillTime is when the tasks died (mid-plateau, virtual seconds).
+	KillTime float64
+	// KilledTasks / KilledItems report the fault's blast radius.
+	KilledTasks int
+	KilledItems int64
+	// Fulfillment is the whole-run constraint fulfillment.
+	Fulfillment float64
+	// RecoveryIntervals counts adjustment intervals after the kill until
+	// the first fulfilled interval (0 when the first post-kill interval
+	// already meets the bound). -1 means fulfillment never recovered.
+	RecoveryIntervals int
+	// PreKillParallelism / FinalParallelism are tester parallelism just
+	// before the kill and at the end of the plateau (paper scale).
+	PreKillParallelism int
+	FinalParallelism   int
+	ScaleUps           int
+	ScaleDowns         int
+
+	Checks CheckList
+}
+
+// RunFaults executes the fault-injection experiment.
+func RunFaults(opts FaultsOptions) (*FaultsResult, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 8
+	}
+	if opts.StepDuration <= 0 {
+		opts.StepDuration = 20
+	}
+	if opts.KillFraction <= 0 || opts.KillFraction > 1 {
+		opts.KillFraction = 0.10
+	}
+	if opts.RecoveryBudget <= 0 {
+		opts.RecoveryBudget = 6
+	}
+	res := &FaultsResult{Options: opts}
+
+	schedule := &workload.StepSchedule{
+		WarmUpRate:     10000,
+		StepDelta:      10000,
+		IncrementSteps: 2,
+		StepDuration:   opts.StepDuration,
+	}
+	// The plateau is the (IncrementSteps+1)-th step; kill at its middle.
+	res.KillTime = (float64(schedule.IncrementSteps) + 1.5) * opts.StepDuration
+
+	elasticOpts := apps.ScalePrimeTesterOptions(apps.PrimeTesterOptions{
+		Sources:         32,
+		Sinks:           32,
+		PrimeTesters:    64,
+		MinPT:           1,
+		MaxPT:           520,
+		Schedule:        schedule,
+		Mode:            sim.BatchAdaptive,
+		ConstraintBound: 20 * time.Millisecond,
+		Elastic:         true,
+		WorkerNodes:     130,
+		SlotsPerNode:    5,
+		Seed:            opts.Seed,
+	}, opts.Scale)
+	cfg, probes, err := apps.BuildPrimeTester(elasticOpts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: faults: %w", err)
+	}
+	cfg.Faults = &sim.FaultPlan{
+		TaskKills: []sim.TaskKill{{
+			At:       res.KillTime,
+			Vertex:   apps.PTWorker,
+			Fraction: opts.KillFraction,
+		}},
+	}
+
+	// Track per-adjustment-interval fulfillment around the kill via the
+	// probe's fulfillment counter deltas.
+	prime := probes.Probe(apps.PrimeProbe)
+	var lastFulfilled, lastIntervals int
+	res.RecoveryIntervals = -1
+	postKill := 0
+	cfg.OnAdjust = func(info sim.AdjustmentInfo) {
+		frac, n := prime.Fulfillment()
+		fulfilled := int(math.Round(frac * float64(n)))
+		intervalMet := n > lastIntervals && fulfilled > lastFulfilled
+		closedInterval := n > lastIntervals
+		lastFulfilled, lastIntervals = fulfilled, n
+		if info.Now <= res.KillTime {
+			if p, ok := info.Summary.Vertex(apps.PTWorker); ok && p.Parallelism > 0 {
+				res.PreKillParallelism = p.Parallelism * opts.Scale
+			}
+			return
+		}
+		if res.RecoveryIntervals >= 0 {
+			return
+		}
+		if closedInterval {
+			if intervalMet {
+				res.RecoveryIntervals = postKill
+				return
+			}
+			postKill++
+		}
+	}
+
+	s, err := sim.New(cfg, probes)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: faults: %w", err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: faults: %w", err)
+	}
+
+	res.Rows = out.Rows
+	res.KilledTasks = out.KilledTasks
+	res.KilledItems = out.KilledItems
+	res.Fulfillment = out.Probes[apps.PrimeProbe].Fulfillment
+	res.FinalParallelism = out.FinalParallelism[apps.PTWorker] * opts.Scale
+	res.ScaleUps = out.ScaleUps
+	res.ScaleDowns = out.ScaleDowns
+
+	res.Checks = faultsChecks(res)
+	return res, nil
+}
+
+// faultsChecks asserts the recovery shape.
+func faultsChecks(res *FaultsResult) CheckList {
+	var checks CheckList
+	checks.Add("fault fired",
+		fmt.Sprintf("%.0f%% of tester tasks killed mid-plateau", res.Options.KillFraction*100),
+		fmt.Sprintf("%d tasks killed at t=%.0fs (%d items lost)", res.KilledTasks, res.KillTime, res.KilledItems),
+		res.KilledTasks >= 1)
+	checks.Add("constraint recovers within bounded intervals",
+		fmt.Sprintf("a fulfilled adjustment interval within %d intervals of the kill", res.Options.RecoveryBudget),
+		fmt.Sprintf("%d intervals", res.RecoveryIntervals),
+		res.RecoveryIntervals >= 0 && res.RecoveryIntervals <= res.Options.RecoveryBudget)
+	checks.Add("overall fulfillment despite fault",
+		"constraint met in the large majority of intervals",
+		fmt.Sprintf("%.0f%%", res.Fulfillment*100),
+		res.Fulfillment >= 0.70)
+	checks.Add("pipeline keeps delivering",
+		"sink throughput positive in every post-kill row",
+		deliveredAfterKill(res),
+		deliveredAfterKill(res) == "yes")
+	return checks
+}
+
+// deliveredAfterKill reports whether every recorded row after the kill
+// shows positive sink throughput ("yes", or the first offending time).
+func deliveredAfterKill(res *FaultsResult) string {
+	for _, r := range res.Rows {
+		if r.Time <= res.KillTime {
+			continue
+		}
+		if r.Processed[apps.PTSink] <= 0 {
+			return fmt.Sprintf("stalled at t=%.0fs", r.Time)
+		}
+	}
+	return "yes"
+}

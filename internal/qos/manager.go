@@ -55,9 +55,11 @@ type channelHistory struct {
 // access (the engine runs one manager goroutine, the simulator is
 // single-threaded).
 type Manager struct {
-	cfg      ManagerConfig
-	tasks    map[model.TaskID]*taskHistory
-	channels map[model.ChannelID]*channelHistory
+	cfg             ManagerConfig
+	tasks           map[model.TaskID]*taskHistory
+	channels        map[model.ChannelID]*channelHistory
+	agedOutTasks    int64
+	agedOutChannels int64
 }
 
 // NewManager creates a manager with the given configuration.
@@ -110,6 +112,15 @@ func (m *Manager) Forget(task model.TaskID) { delete(m.tasks, task) }
 
 // ForgetChannel drops the history of a channel.
 func (m *Manager) ForgetChannel(ch model.ChannelID) { delete(m.channels, ch) }
+
+// AgedOut returns how many task and channel histories ageOut has evicted
+// since the manager was created. Histories age out when their reporter
+// stops reporting — scale-down is the benign cause, a crashed task the
+// malign one — so a climbing counter with stable parallelism is the
+// observable symptom of dead reporters.
+func (m *Manager) AgedOut() (tasks, channels int64) {
+	return m.agedOutTasks, m.agedOutChannels
+}
 
 // TrackedTasks returns the number of tasks with live history.
 func (m *Manager) TrackedTasks() int { return len(m.tasks) }
@@ -182,6 +193,12 @@ func (m *Manager) PartialSummary() *PartialSummary {
 			acv = arrCV / arrN
 		}
 		p.AddTask(id.Vertex, lat, svc, scv, arr, acv, samples)
+		// idle is reset on every report and incremented once per
+		// adjustment interval by ageOut, so idle == 0 means the task
+		// reported within the current interval.
+		if h.idle == 0 {
+			p.MarkTaskFresh(id.Vertex)
+		}
 	}
 	chanIDs := make([]model.ChannelID, 0, len(m.channels))
 	for id := range m.channels {
@@ -217,6 +234,9 @@ func (m *Manager) PartialSummary() *PartialSummary {
 			obl = oblSum / oblN
 		}
 		p.AddChannel(id.Edge, lat, obl, samples)
+		if h.idle == 0 {
+			p.MarkChannelFresh(id.Edge)
+		}
 	}
 	m.ageOut()
 	return p
@@ -228,12 +248,14 @@ func (m *Manager) ageOut() {
 		h.idle++
 		if h.idle > m.cfg.EvictAfter {
 			delete(m.tasks, id)
+			m.agedOutTasks++
 		}
 	}
 	for id, h := range m.channels {
 		h.idle++
 		if h.idle > m.cfg.EvictAfter {
 			delete(m.channels, id)
+			m.agedOutChannels++
 		}
 	}
 }

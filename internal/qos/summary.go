@@ -32,8 +32,18 @@ type VertexStats struct {
 	InterarrivalCV   float64
 	// Parallelism is the degree of parallelism p_jv at measurement time.
 	Parallelism int
+	// Tasks is the number of task histories aggregated into the stats.
+	// After a crash it exceeds Parallelism until the dead task's history
+	// ages out of its manager.
+	Tasks int
 	// Samples counts the underlying raw measurements.
 	Samples int64
+	// FreshTasks is the number of tasks whose reporters delivered a
+	// report within the last adjustment interval. When tasks crash their
+	// stale history keeps contributing to the averages until it ages out,
+	// but FreshTasks drops immediately — the scaler uses the gap between
+	// FreshTasks and Parallelism to detect partial measurements.
+	FreshTasks int
 }
 
 // ArrivalRate returns λ_jv = 1/Ā_jv, the mean per-task data item arrival
@@ -71,6 +81,9 @@ type EdgeStats struct {
 	OutputBatchLatency float64
 	// Samples counts the underlying raw measurements.
 	Samples int64
+	// FreshChannels is the number of channels with a report within the
+	// last adjustment interval (see VertexStats.FreshTasks).
+	FreshChannels int
 }
 
 // QueueWait returns the measured queue waiting time attributed to the
@@ -127,6 +140,37 @@ func (s *Summary) Covers(seq *model.Sequence) bool {
 	return true
 }
 
+// SequenceCoverage returns the fraction of the sequence's task slots that
+// have fresh QoS reports: Σ min(FreshTasks, Parallelism) over the
+// sequence's vertices divided by Σ Parallelism. A vertex missing from the
+// summary counts as fully stale, so a sequence whose reporters all died
+// has coverage 0. The scaler holds scale-downs when coverage drops below
+// its threshold (a crashed reporter must never trigger a
+// latency-violating scale-down).
+func (s *Summary) SequenceCoverage(seq *model.Sequence) float64 {
+	total, fresh := 0, 0
+	for _, name := range seq.Vertices() {
+		v, ok := s.Vertices[name]
+		if !ok || v.Parallelism <= 0 {
+			// Unknown parallelism: treat the vertex as one fully stale
+			// slot so missing vertices drag coverage down instead of
+			// vanishing from the denominator.
+			total++
+			continue
+		}
+		total += v.Parallelism
+		f := v.FreshTasks
+		if f > v.Parallelism {
+			f = v.Parallelism
+		}
+		fresh += f
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(fresh) / float64(total)
+}
+
 // String renders the summary deterministically for logs and tests.
 func (s *Summary) String() string {
 	var b strings.Builder
@@ -158,6 +202,7 @@ func (s *Summary) String() string {
 // of Equation 2 is the sum of per-task means divided by the task count.
 type vertexPartial struct {
 	taskCount           int
+	freshCount          int
 	sumTaskLatency      float64
 	sumServiceMean      float64
 	sumServiceCV        float64
@@ -169,6 +214,7 @@ type vertexPartial struct {
 // edgePartial is the mergeable per-edge accumulator of a partial summary.
 type edgePartial struct {
 	channelCount      int
+	freshCount        int
 	sumChannelLatency float64
 	sumBatchLatency   float64
 	samples           int64
@@ -226,6 +272,37 @@ func (p *PartialSummary) AddChannel(edge model.EdgeKey, channelLatency, batchLat
 	ep.samples += samples
 }
 
+// MarkTaskFresh records that one of the vertex's tasks delivered a
+// report within the current adjustment interval. Callers invoke it next
+// to AddTask for tasks whose history is not stale.
+func (p *PartialSummary) MarkTaskFresh(vertex string) {
+	vp := p.vertices[vertex]
+	if vp == nil {
+		vp = &vertexPartial{}
+		p.vertices[vertex] = vp
+	}
+	vp.freshCount++
+}
+
+// MarkChannelFresh records that one of the edge's channels delivered a
+// report within the current adjustment interval.
+func (p *PartialSummary) MarkChannelFresh(edge model.EdgeKey) {
+	ep := p.edges[edge]
+	if ep == nil {
+		ep = &edgePartial{}
+		p.edges[edge] = ep
+	}
+	ep.freshCount++
+}
+
+// FreshTaskCount returns the number of fresh tasks recorded for a vertex.
+func (p *PartialSummary) FreshTaskCount(vertex string) int {
+	if vp := p.vertices[vertex]; vp != nil {
+		return vp.freshCount
+	}
+	return 0
+}
+
 // SetParallelism records the parallelism the manager observed for a
 // vertex.
 func (p *PartialSummary) SetParallelism(vertex string, parallelism int) {
@@ -251,6 +328,7 @@ func (p *PartialSummary) Merge(o *PartialSummary) {
 			continue
 		}
 		vp.taskCount += ovp.taskCount
+		vp.freshCount += ovp.freshCount
 		vp.sumTaskLatency += ovp.sumTaskLatency
 		vp.sumServiceMean += ovp.sumServiceMean
 		vp.sumServiceCV += ovp.sumServiceCV
@@ -266,6 +344,7 @@ func (p *PartialSummary) Merge(o *PartialSummary) {
 			continue
 		}
 		ep.channelCount += oep.channelCount
+		ep.freshCount += oep.freshCount
 		ep.sumChannelLatency += oep.sumChannelLatency
 		ep.sumBatchLatency += oep.sumBatchLatency
 		ep.samples += oep.samples
@@ -302,7 +381,9 @@ func (p *PartialSummary) Finalize(parallelism map[string]int) *Summary {
 			InterarrivalMean: vp.sumInterarrivalMean / n,
 			InterarrivalCV:   vp.sumInterarrivalCV / n,
 			Parallelism:      par,
+			Tasks:            vp.taskCount,
 			Samples:          vp.samples,
+			FreshTasks:       vp.freshCount,
 		}
 	}
 	for key, ep := range p.edges {
@@ -314,6 +395,7 @@ func (p *PartialSummary) Finalize(parallelism map[string]int) *Summary {
 			ChannelLatency:     ep.sumChannelLatency / n,
 			OutputBatchLatency: ep.sumBatchLatency / n,
 			Samples:            ep.samples,
+			FreshChannels:      ep.freshCount,
 		}
 	}
 	return s

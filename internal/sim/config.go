@@ -175,6 +175,9 @@ type Config struct {
 	RecordInterval float64
 	// Seed drives all simulator randomness.
 	Seed int64
+	// Faults, when set, injects the plan's task and node kills as
+	// simulation events (see FaultPlan).
+	Faults *FaultPlan
 	// OnAdjust, when set, observes every adjustment interval: the fresh
 	// global summary, the flush deadlines just applied, and the scaler's
 	// decision (nil during inactivity or when not elastic). Intended for
@@ -250,6 +253,11 @@ func (c *Config) withDefaults() error {
 			return fmt.Errorf("sim: duration not set and no source schedule to derive it from")
 		}
 		c.Duration = longest + 5
+	}
+	if c.Faults != nil {
+		if err := c.Faults.validate(c); err != nil {
+			return err
+		}
 	}
 	if c.Scaler.Strategy.Batching.QueueWaitFraction == 0 {
 		c.Scaler.Strategy.Batching = qos.DefaultBatchingPolicy()

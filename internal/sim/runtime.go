@@ -93,6 +93,9 @@ type simTask struct {
 	busy     bool
 	draining bool
 	disposed bool
+	// killed marks abrupt FaultPlan disposal (vs. graceful drain), so
+	// late in-flight batches are accounted as fault losses.
+	killed bool
 
 	// blockedOut counts output channels with stalled batches; a task with
 	// blockedOut > 0 is stuck in a send and processes nothing.
@@ -355,10 +358,13 @@ func (s *Sim) flushPendingGates(t *simTask) {
 func (s *Sim) deliver(ch *simChannel, batch []Item) {
 	ch.to.inflightIn--
 	if ch.to.disposed {
-		// The consumer finished draining before the batch arrived (only
-		// possible for leftovers raced by disposal); account for
-		// diagnostics.
-		s.droppedItems += int64(len(batch))
+		// The consumer is gone: finished draining before the batch
+		// arrived, or killed by a fault. Account accordingly.
+		if ch.to.killed {
+			s.killedItems += int64(len(batch))
+		} else {
+			s.droppedItems += int64(len(batch))
+		}
 		return
 	}
 	if s.cfg.QueueCapacityItems-ch.to.queueLen() < len(batch) {
@@ -465,6 +471,12 @@ func (t *simTask) latencyModeRW() bool {
 // completeService finishes one item: records metrics, runs the behavior,
 // and starts the next item.
 func (s *Sim) completeService(t *simTask, it Item, st float64) {
+	if t.disposed {
+		// The task was killed mid-service; the in-progress item dies
+		// with it.
+		s.killedItems++
+		return
+	}
 	t.busy = false
 	t.busyAccum += st
 	s.processed[t.vtx.jv.Name]++

@@ -49,6 +49,10 @@ type Sim struct {
 	processed           map[string]int64 // per vertex: items completing service
 	lastProcessed       map[string]int64
 	droppedItems        int64
+	killedTasks         int
+	killedNodes         int
+	killedItems         int64
+	respawnedTasks      int
 	poolExhaustedEvents int
 	closedChannels      int
 	scaleUps            int
@@ -125,6 +129,15 @@ type Result struct {
 	// DroppedItems counts items lost to disposed tasks (diagnostics; zero
 	// in healthy runs).
 	DroppedItems int64
+	// KilledTasks / KilledNodes count FaultPlan kills that fired;
+	// RespawnedTasks the replacements placed. KilledItems counts items
+	// lost synchronously with a kill (queued input, buffered output,
+	// stalled batches); in-flight batches that reach a dead task later
+	// land in DroppedItems.
+	KilledTasks    int
+	KilledNodes    int
+	KilledItems    int64
+	RespawnedTasks int
 	// MeanCPUUtilization is the run-wide mean task CPU utilization.
 	MeanCPUUtilization float64
 }
@@ -613,6 +626,9 @@ func (s *Sim) Run() (*Result, error) {
 	s.q.push(s.cfg.MeasurementInterval, measure)
 	s.q.push(s.cfg.AdjustmentInterval, adjust)
 	s.q.push(s.cfg.RecordInterval, record)
+	if s.cfg.Faults != nil {
+		s.scheduleFaults(s.cfg.Faults)
+	}
 	s.accountUsage()
 
 	peak := s.parallelismMap()
@@ -653,6 +669,10 @@ func (s *Sim) Run() (*Result, error) {
 		InfeasibleDecisions: s.infeasible,
 		PoolExhausted:       s.poolExhaustedEvents,
 		DroppedItems:        s.droppedItems,
+		KilledTasks:         s.killedTasks,
+		KilledNodes:         s.killedNodes,
+		KilledItems:         s.killedItems,
+		RespawnedTasks:      s.respawnedTasks,
 	}
 	for _, name := range s.probes.Names() {
 		p := s.probes.Probe(name)
