@@ -16,6 +16,7 @@ import (
 	"nephelix/internal/core"
 	"nephelix/internal/experiments"
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/qos"
 	"nephelix/internal/sim"
 	"nephelix/internal/workload"
@@ -380,6 +381,21 @@ func BenchmarkSummaryMerge(b *testing.B) {
 // single-server pipeline, reported in processed items per second of
 // wall-clock time.
 func BenchmarkSimulatorEvents(b *testing.B) {
+	benchSimulatorEvents(b, nil)
+}
+
+// BenchmarkSimulatorEventsObsDisabled runs the same workload with a
+// disabled tracer (sample rate 0) and an attached recorder. Compare
+// against BenchmarkSimulatorEvents: the observability hooks must not
+// cost measurable throughput when sampling is off.
+func BenchmarkSimulatorEventsObsDisabled(b *testing.B) {
+	benchSimulatorEvents(b, func(cfg *sim.Config) {
+		cfg.Tracer = obs.NewTracer(0)
+		cfg.Recorder = obs.NewRecorder(0)
+	})
+}
+
+func benchSimulatorEvents(b *testing.B, configure func(*sim.Config)) {
 	for i := 0; i < b.N; i++ {
 		opts := apps.ScalePrimeTesterOptions(apps.PrimeTesterOptions{
 			Sources: 32, Sinks: 32, PrimeTesters: 64,
@@ -392,6 +408,9 @@ func BenchmarkSimulatorEvents(b *testing.B) {
 		cfg, probes, err := apps.BuildPrimeTester(opts)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if configure != nil {
+			configure(&cfg)
 		}
 		s, err := sim.New(cfg, probes)
 		if err != nil {

@@ -21,14 +21,28 @@ import (
 	"time"
 
 	"nephelix/internal/experiments"
+	"nephelix/internal/obs"
 	"nephelix/internal/sim"
 )
+
+// recorder is the process-wide flight recorder: the faults experiment
+// records its scaling decisions here, and -obs.addr exposes them live.
+var recorder = obs.NewRecorder(0)
 
 func main() {
 	out := flag.String("out", "results", "directory for CSV output")
 	paper := flag.Bool("paper", false, "run at full paper scale (slow)")
+	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /debug/pprof, /scaler/decisions) on this address")
 	flag.Parse()
 
+	if *obsAddr != "" {
+		srv, err := obs.Serve(*obsAddr, obs.ServerConfig{Recorder: recorder})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+	}
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
@@ -211,6 +225,7 @@ func runFaults(outDir string, paper bool) (int, error) {
 	if paper {
 		opts = experiments.FaultsPaper()
 	}
+	opts.Recorder = recorder
 	start := time.Now()
 	res, err := experiments.RunFaults(opts)
 	if err != nil {
@@ -220,6 +235,16 @@ func runFaults(outDir string, paper bool) (int, error) {
 	if err := writeCSV(filepath.Join(outDir, "faults.csv"), res.Rows, float64(opts.Scale)); err != nil {
 		return n, err
 	}
+	path := filepath.Join(outDir, "faults_decisions.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		return n, err
+	}
+	defer f.Close()
+	if err := recorder.WriteJSONL(f); err != nil {
+		return n, err
+	}
+	fmt.Printf("  wrote %s (%d decision events)\n", path, len(recorder.Decisions()))
 	return n, nil
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"nephelix/internal/apps"
 	"nephelix/internal/experiments"
+	"nephelix/internal/obs"
 	"nephelix/internal/sim"
 	"nephelix/internal/workload"
 )
@@ -30,15 +31,17 @@ func main() {
 	bound := flag.Int("bound", 20, "latency constraint in milliseconds (for the 20ms config)")
 	csvPath := flag.String("csv", "", "write the time series to this CSV file")
 	seed := flag.Int64("seed", 1, "random seed")
+	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /debug/pprof, /scaler/decisions) on this address")
+	decisionsPath := flag.String("decisions", "", "write the scaler's decision audit trail to this JSONL file")
 	flag.Parse()
 
-	if err := run(*config, *elastic, *scale, *steps, *stepdur, *bound, *csvPath, *seed); err != nil {
+	if err := run(*config, *elastic, *scale, *steps, *stepdur, *bound, *csvPath, *seed, *obsAddr, *decisionsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "primetester:", err)
 		os.Exit(1)
 	}
 }
 
-func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS int, csvPath string, seed int64) error {
+func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS int, csvPath string, seed int64, obsAddr, decisionsPath string) error {
 	var mode sim.BatchMode
 	var bound time.Duration
 	switch config {
@@ -79,6 +82,16 @@ func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS
 	if err != nil {
 		return err
 	}
+	recorder := obs.NewRecorder(0)
+	cfg.Recorder = recorder
+	if obsAddr != "" {
+		srv, err := obs.Serve(obsAddr, obs.ServerConfig{Recorder: recorder})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("introspection on http://%s\n", obsAddr)
+	}
 	s, err := sim.New(cfg, probes)
 	if err != nil {
 		return err
@@ -115,6 +128,17 @@ func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS
 			return err
 		}
 		fmt.Printf("wrote %s (%d rows)\n", csvPath, len(res.Rows))
+	}
+	if decisionsPath != "" {
+		f, err := os.Create(decisionsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := recorder.WriteJSONL(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d decision events)\n", decisionsPath, len(recorder.Decisions()))
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"nephelix/internal/apps"
 	"nephelix/internal/experiments"
+	"nephelix/internal/obs"
 	"nephelix/internal/sim"
 	"nephelix/internal/workload"
 )
@@ -26,15 +27,17 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a recorded JSONL tweet trace (see cmd/tracegen)")
 	speedup := flag.Float64("speedup", 1, "replay speed multiplier for -trace")
 	seed := flag.Int64("seed", 1, "random seed")
+	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /debug/pprof, /scaler/decisions) on this address")
+	decisionsPath := flag.String("decisions", "", "write the scaler's decision audit trail to this JSONL file")
 	flag.Parse()
 
-	if err := run(*scale, *duration, *csvPath, *tracePath, *speedup, *seed); err != nil {
+	if err := run(*scale, *duration, *csvPath, *tracePath, *speedup, *seed, *obsAddr, *decisionsPath); err != nil {
 		fmt.Fprintln(os.Stderr, "twittersentiment:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale int, duration float64, csvPath, tracePath string, speedup float64, seed int64) error {
+func run(scale int, duration float64, csvPath, tracePath string, speedup float64, seed int64, obsAddr, decisionsPath string) error {
 	opts := apps.DefaultTwitterSentimentOptions()
 	opts.Seed = seed
 	if tracePath != "" {
@@ -87,6 +90,16 @@ func run(scale int, duration float64, csvPath, tracePath string, speedup float64
 	if duration > 0 {
 		cfg.Duration = duration
 	}
+	recorder := obs.NewRecorder(0)
+	cfg.Recorder = recorder
+	if obsAddr != "" {
+		srv, err := obs.Serve(obsAddr, obs.ServerConfig{Recorder: recorder})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("introspection on http://%s\n", obsAddr)
+	}
 	s, err := sim.New(cfg, probes)
 	if err != nil {
 		return err
@@ -130,6 +143,17 @@ func run(scale int, duration float64, csvPath, tracePath string, speedup float64
 			return err
 		}
 		fmt.Printf("wrote %s (%d rows)\n", csvPath, len(res.Rows))
+	}
+	if decisionsPath != "" {
+		f, err := os.Create(decisionsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := recorder.WriteJSONL(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d decision events)\n", decisionsPath, len(recorder.Decisions()))
 	}
 	return nil
 }

@@ -179,7 +179,7 @@ func BuildPrimeTester(opts PrimeTesterOptions) (sim.Config, *sim.ProbeSet, error
 		return sim.Config{}, nil, fmt.Errorf("apps: %w", err)
 	}
 
-	probes := sim.NewProbeSet()
+	probes := sim.NewProbeSetSeeded(opts.Seed)
 	probe := probes.Probe(PrimeProbe)
 
 	var constraints []*model.Constraint

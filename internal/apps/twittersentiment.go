@@ -483,7 +483,7 @@ func BuildTwitterSentiment(opts TwitterSentimentOptions) (sim.Config, *sim.Probe
 		}
 	}
 
-	probes := sim.NewProbeSet()
+	probes := sim.NewProbeSetSeeded(opts.Seed)
 	probeHot := probes.Probe(HotTopicsProbe)
 	probeSent := probes.Probe(SentimentProbe)
 	probes.SetBound(HotTopicsProbe, opts.Bound1.Seconds())

@@ -64,6 +64,12 @@ type VertexModel struct {
 	// E is the error coefficient e_jv (Equation 4) used to build A; kept
 	// for diagnostics.
 	E float64
+
+	// Lambda, SMean, CA2 and CS2 are the measured Kingman inputs the
+	// coefficients were fitted from (per-task arrival rate λ, mean
+	// service time s̄, squared coefficients of variation); kept for the
+	// decision audit trail.
+	Lambda, SMean, CA2, CS2 float64
 }
 
 // Wait returns the modeled queue waiting time W(p*) at parallelism pStar.
@@ -220,6 +226,10 @@ func BuildVertexModel(jv *model.JobVertex, seq *model.Sequence, s *qos.Summary, 
 		A:       e * a,
 		B:       b,
 		E:       e,
+		Lambda:  lambda,
+		SMean:   sMean,
+		CA2:     ca2,
+		CS2:     cs2,
 	}, nil
 }
 

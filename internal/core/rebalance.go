@@ -11,6 +11,21 @@ import (
 // paper the user must be informed and provide more resources.
 var ErrInfeasible = errors.New("core: queue wait limit unreachable at maximum scale-out")
 
+// RebalanceStep is one audit record of a Rebalance gradient-descent
+// iteration: the steepest vertex grew From→To. Steepest and RunnerUp are
+// the two best marginal gains d1, d2; PDelta is the P_Δ target (step to
+// the runner-up's marginal) and PW the P_W cap (exact budget spend) that
+// bounded the jump. PDelta is 0 in the final round (no runner-up, the
+// budget is spent exactly via PW).
+type RebalanceStep struct {
+	Vertex   string
+	From, To int
+	Steepest float64
+	RunnerUp float64
+	PDelta   int
+	PW       int
+}
+
 // Rebalance implements Algorithm 1: choose new degrees of parallelism for
 // the sequence's vertices so that the total parallelism Σ pᵢ is minimized
 // subject to W_js(p₁, …, pₙ) ≤ wLimit and pᵢ ∈ [max(minᵢ, pMin[name]),
@@ -24,6 +39,14 @@ var ErrInfeasible = errors.New("core: queue wait limit unreachable at maximum sc
 //
 // The returned map always contains an entry for every sequence vertex.
 func Rebalance(sm *SequenceModel, wLimit float64, pMin map[string]int) (map[string]int, error) {
+	return RebalanceTraced(sm, wLimit, pMin, nil)
+}
+
+// RebalanceTraced is Rebalance with an optional audit trail: when trace
+// is non-nil, one RebalanceStep per descent iteration is appended to it.
+// An infeasible run fails the up-front feasibility test and records no
+// steps.
+func RebalanceTraced(sm *SequenceModel, wLimit float64, pMin map[string]int, trace *[]RebalanceStep) (map[string]int, error) {
 	n := len(sm.Vertices)
 	result := make(map[string]int, n)
 	if n == 0 {
@@ -83,26 +106,35 @@ func Rebalance(sm *SequenceModel, wLimit float64, pMin map[string]int) (map[stri
 		// The remaining budget if only c1 grows: reaching W_c1 ≤ wBudget
 		// makes the whole sequence feasible.
 		wBudget := wLimit - sm.TotalWait(p) + vm.Wait(p[c1])
-		var target int
+		var target, pDelta, pW int
 		if c2 >= 0 {
 			// Scale c1 until its marginal gain matches the runner-up's
 			// current gain; next round the runner-up takes over. The jump
 			// is capped by P_W so it never overshoots the point where the
 			// queue-wait limit is already met (keeping the result on the
 			// minimal-candidate surface of Figure 5).
-			target = vm.StepToMarginal(d2)
-			if cap := vm.ParallelismForWait(wBudget); cap < target {
-				target = cap
+			pDelta = vm.StepToMarginal(d2)
+			pW = vm.ParallelismForWait(wBudget)
+			target = pDelta
+			if pW < target {
+				target = pW
 			}
 		} else {
 			// Last growable vertex: spend the remaining budget exactly.
-			target = vm.ParallelismForWait(wBudget)
+			pW = vm.ParallelismForWait(wBudget)
+			target = pW
 		}
 		if target <= p[c1] {
 			target = p[c1] + 1 // progress guard for marginal ties
 		}
 		if target > vm.Max {
 			target = vm.Max
+		}
+		if trace != nil {
+			*trace = append(*trace, RebalanceStep{
+				Vertex: vm.Name, From: p[c1], To: target,
+				Steepest: d1, RunnerUp: d2, PDelta: pDelta, PW: pW,
+			})
 		}
 		p[c1] = target
 	}

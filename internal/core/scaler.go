@@ -57,6 +57,14 @@ type ConstraintDecision struct {
 	// MinCoverage threshold, holding scale-downs for this sequence's
 	// vertices.
 	LowCoverage bool
+	// Models holds the fitted per-vertex latency models the Rebalance
+	// path worked from, in sequence order (nil on the bottleneck path and
+	// for skipped constraints); the decision audit trail exports their
+	// Kingman inputs.
+	Models []*VertexModel
+	// Steps records Rebalance's gradient-descent iterations (Rebalance
+	// path only).
+	Steps []RebalanceStep
 }
 
 // Decision is the aggregate outcome of one ScaleReactively invocation.
@@ -69,6 +77,20 @@ type Decision struct {
 	Actions []model.ScalingAction
 	// PerConstraint holds one entry per input constraint, in input order.
 	PerConstraint []ConstraintDecision
+	// Holds lists the per-vertex gating interventions ElasticScaler.Decide
+	// applied after ScaleReactively (dead band, scale-down clamp, low
+	// coverage); nil when ScaleReactively is called directly.
+	Holds []Hold
+}
+
+// Hold records one gating intervention: the optimizer proposed Proposed
+// for Vertex, the named gate kept Kept instead.
+type Hold struct {
+	Vertex string
+	// Reason is "dead-band", "scale-down-clamp" or "low-coverage".
+	Reason   string
+	Proposed int
+	Kept     int
 }
 
 // HasScaleUp reports whether any action increases parallelism.
@@ -121,7 +143,8 @@ func ScaleReactively(cfg StrategyConfig, g *model.JobGraph, constraints []*model
 				}
 			}
 			cd.QueueWaitLimit = cfg.Batching.QueueWaitLimit(s, c)
-			p, err := Rebalance(sm, cd.QueueWaitLimit, pMin)
+			cd.Models = sm.Vertices
+			p, err := RebalanceTraced(sm, cd.QueueWaitLimit, pMin, &cd.Steps)
 			if err != nil {
 				if !errors.Is(err, ErrInfeasible) {
 					return nil, fmt.Errorf("core: constraint %q: %w", c.Name, err)
@@ -301,6 +324,7 @@ func (e *ElasticScaler) applyDeadBand(d *Decision, current map[string]int) {
 		}
 		if float64(delta) < f*float64(from) {
 			d.Desired[name] = from
+			d.Holds = append(d.Holds, Hold{Vertex: name, Reason: "dead-band", Proposed: to, Kept: from})
 			changed = true
 		}
 	}
@@ -328,6 +352,7 @@ func (e *ElasticScaler) clampScaleDowns(d *Decision, current map[string]int) {
 		}
 		if from-to > maxDown {
 			d.Desired[name] = from - maxDown
+			d.Holds = append(d.Holds, Hold{Vertex: name, Reason: "scale-down-clamp", Proposed: to, Kept: from - maxDown})
 			changed = true
 		}
 	}
@@ -358,6 +383,7 @@ func (e *ElasticScaler) holdLowCoverageScaleDowns(d *Decision, s *qos.Summary, c
 			from, cur := current[name]
 			if ok && cur && to < from {
 				d.Desired[name] = from
+				d.Holds = append(d.Holds, Hold{Vertex: name, Reason: "low-coverage", Proposed: to, Kept: from})
 				e.heldScaleDowns++
 				changed = true
 			}

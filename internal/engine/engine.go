@@ -11,6 +11,7 @@ import (
 	"nephelix/internal/cluster"
 	"nephelix/internal/core"
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/probe"
 	"nephelix/internal/qos"
 )
@@ -59,6 +60,15 @@ type Config struct {
 	// RestartBackoffCap bounds the exponential restart delay
 	// (default 1 s).
 	RestartBackoffCap time.Duration
+	// Recorder, when set, receives the execution's flight-recorder
+	// events: task lifecycle (start, panic, backoff restart, vertex
+	// degradation), drop counters at shutdown, and one scaling_decision
+	// audit event per adjustment interval with a decision.
+	Recorder *obs.Recorder
+	// Tracer, when set, head-samples source emissions and attributes
+	// their end-to-end latency per hop. Nil disables tracing at
+	// near-zero cost.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills zero values.
@@ -255,6 +265,10 @@ type execution struct {
 	// master loop before doneCh closes, read after Wait returns.
 	failErr error
 
+	// adjustRounds counts adjustment ticks (master loop only); it is the
+	// interval ordinal on recorded scaling decisions.
+	adjustRounds int
+
 	rowsMu sync.Mutex
 	rows   []Row
 
@@ -394,8 +408,16 @@ func (ex *execution) launchAll() {
 	}
 }
 
+// recordLifecycle emits one lifecycle event to the configured flight
+// recorder (no-op when none is set). Event time is seconds since
+// execution start, matching the simulator's virtual clock convention.
+func (ex *execution) recordLifecycle(kind string, lc obs.Lifecycle) {
+	ex.cfg.Recorder.RecordLifecycle(time.Since(ex.start).Seconds(), kind, lc)
+}
+
 // launch starts one task goroutine.
 func (ex *execution) launch(t *task) {
+	ex.recordLifecycle(obs.KindTaskStart, obs.Lifecycle{Vertex: t.id.Vertex, Task: t.id.String()})
 	ex.wg.Add(1)
 	if t.src != nil {
 		ex.sourcesLeft.Add(1)
@@ -465,6 +487,11 @@ func (ex *execution) masterLoop() {
 		ex.mu.Lock()
 		ex.accountUsageLocked()
 		ex.mu.Unlock()
+		ex.recordLifecycle(obs.KindDropCounters, obs.Lifecycle{
+			LostRecords:       ex.lostRecords.Load(),
+			DroppedReports:    ex.droppedReports.Load(),
+			DroppedNoConsumer: ex.dropNoConsumer.Load(),
+		})
 		close(ex.doneCh)
 	}
 
@@ -516,6 +543,9 @@ func (ex *execution) masterLoop() {
 // counted but the task stays down.
 func (ex *execution) reportFailure(t *task, reason any) {
 	ex.taskFailures.Add(1)
+	ex.recordLifecycle(obs.KindTaskPanic, obs.Lifecycle{
+		Vertex: t.id.Vertex, Task: t.id.String(), Reason: fmt.Sprint(reason),
+	})
 	ex.pendingRecovery.Add(1)
 	select {
 	case ex.failures <- taskFailure{t: t, reason: reason}:
@@ -569,6 +599,9 @@ func (ex *execution) superviseFailure(vertex string, reason any) {
 	sup.lastFailure = time.Now()
 	if sup.degraded || sup.backoff.Attempts() >= ex.cfg.MaxTaskRestarts {
 		sup.degraded = true
+		ex.recordLifecycle(obs.KindVertexDegraded, obs.Lifecycle{
+			Vertex: vertex, Reason: fmt.Sprint(reason), Attempts: sup.backoff.Attempts(),
+		})
 		ex.pendingRecovery.Add(-1)
 		if ex.failErr == nil {
 			ex.failErr = fmt.Errorf("engine: vertex %q degraded after %d failed restarts (last failure: %v)",
@@ -578,6 +611,9 @@ func (ex *execution) superviseFailure(vertex string, reason any) {
 		return
 	}
 	delay := sup.backoff.Next()
+	ex.recordLifecycle(obs.KindTaskRestart, obs.Lifecycle{
+		Vertex: vertex, Attempts: sup.backoff.Attempts(), BackoffSeconds: delay.Seconds(),
+	})
 	time.AfterFunc(delay, func() {
 		select {
 		case ex.restarts <- vertex:
@@ -736,10 +772,13 @@ func (ex *execution) adjustTick() {
 	if ex.scaler == nil {
 		return
 	}
+	ex.adjustRounds++
 	decision, err := ex.scaler.Decide(summary, par)
 	if err != nil || decision == nil {
 		return
 	}
+	ex.cfg.Recorder.RecordDecision(time.Since(ex.start).Seconds(),
+		obs.NewScalingDecision(ex.adjustRounds, decision, par))
 	for _, a := range decision.Actions {
 		if d := a.Delta(); d > 0 {
 			ex.scaleUp(a.Vertex, d)

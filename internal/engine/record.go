@@ -14,7 +14,11 @@
 // plane under test is identical.
 package engine
 
-import "time"
+import (
+	"time"
+
+	"nephelix/internal/obs"
+)
 
 // Record is one data item flowing through the job.
 type Record struct {
@@ -30,6 +34,11 @@ type Record struct {
 	EmitTime time.Time
 	// Sampled marks records participating in latency probing.
 	Sampled bool
+
+	// span is the record's trace span (nil unless the record descends
+	// from a head-sampled emission and tracing is on). Records emitted
+	// while processing a traced record inherit it.
+	span *obs.Span
 }
 
 // batch is the unit shipped between tasks: records that left one

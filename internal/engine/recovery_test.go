@@ -8,8 +8,18 @@ import (
 	"time"
 
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/workload"
 )
+
+// eventsByKind buckets recorded flight-recorder events for assertions.
+func eventsByKind(rec *obs.Recorder) map[string][]obs.Event {
+	out := make(map[string][]obs.Event)
+	for _, ev := range rec.Events() {
+		out[ev.Kind] = append(out[ev.Kind], ev)
+	}
+	return out
+}
 
 // panicky forwards records downstream but panics on every Nth record
 // across all task replicas of the vertex.
@@ -44,11 +54,13 @@ func TestEnginePanicRecovery(t *testing.T) {
 		SetUDF("work", func(int) UDF { return &panicky{n: &seen, every: 100} }).
 		SetUDF("sink", func(int) UDF { return &countingSink{count: &received} })
 
+	rec := obs.NewRecorder(0)
 	exec, err := New(Config{
 		Seed:              11,
 		RestartBackoff:    2 * time.Millisecond,
 		RestartBackoffCap: 10 * time.Millisecond,
 		MaxTaskRestarts:   50,
+		Recorder:          rec,
 	}).Submit(spec, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -74,6 +86,45 @@ func TestEnginePanicRecovery(t *testing.T) {
 	if received.Load() > emitted.Load() {
 		t.Errorf("received %d > emitted %d", received.Load(), emitted.Load())
 	}
+
+	// The flight recorder must tell the whole story: starts for the
+	// initial tasks and every respawn, one panic per supervised failure,
+	// one restart event per supervised restart, and the drop counters at
+	// shutdown.
+	byKind := eventsByKind(rec)
+	// 1 src + 2 work + 1 sink initially, plus one start per restart.
+	wantStarts := 4 + int(exec.TaskRestarts())
+	if got := len(byKind[obs.KindTaskStart]); got != wantStarts {
+		t.Errorf("task_start events: got %d, want %d (4 initial + %d restarts)",
+			got, wantStarts, exec.TaskRestarts())
+	}
+	if got := len(byKind[obs.KindTaskPanic]); got != int(exec.TaskFailures()) {
+		t.Errorf("task_panic events: got %d, want %d (TaskFailures)", got, exec.TaskFailures())
+	}
+	for _, ev := range byKind[obs.KindTaskPanic] {
+		if ev.Lifecycle.Vertex != "work" || !strings.Contains(ev.Lifecycle.Reason, "injected UDF failure") {
+			t.Errorf("panic event lacks vertex/reason: %+v", ev.Lifecycle)
+		}
+	}
+	if got := len(byKind[obs.KindTaskRestart]); got != int(exec.TaskRestarts()) {
+		t.Errorf("task_restart events: got %d, want %d (TaskRestarts)", got, exec.TaskRestarts())
+	}
+	for _, ev := range byKind[obs.KindTaskRestart] {
+		if ev.Lifecycle.Attempts < 1 || ev.Lifecycle.BackoffSeconds <= 0 {
+			t.Errorf("restart event lacks backoff data: %+v", ev.Lifecycle)
+		}
+	}
+	if got := len(byKind[obs.KindVertexDegraded]); got != 0 {
+		t.Errorf("clean recovery must not record degradation, got %d events", got)
+	}
+	drops := byKind[obs.KindDropCounters]
+	if len(drops) != 1 {
+		t.Fatalf("drop_counters events: got %d, want exactly 1 at shutdown", len(drops))
+	}
+	if exec.LostRecords() > 0 && drops[0].Lifecycle.LostRecords != exec.LostRecords() {
+		t.Errorf("drop_counters LostRecords = %d, execution reports %d",
+			drops[0].Lifecycle.LostRecords, exec.LostRecords())
+	}
 }
 
 // TestEngineVertexDegradesCleanly: a vertex whose tasks keep crashing
@@ -96,11 +147,13 @@ func TestEngineVertexDegradesCleanly(t *testing.T) {
 		}).
 		SetUDF("sink", func(int) UDF { return &countingSink{count: &received} })
 
+	rec := obs.NewRecorder(0)
 	exec, err := New(Config{
 		Seed:              12,
 		RestartBackoff:    2 * time.Millisecond,
 		RestartBackoffCap: 5 * time.Millisecond,
 		MaxTaskRestarts:   2,
+		Recorder:          rec,
 	}).Submit(spec, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +173,24 @@ func TestEngineVertexDegradesCleanly(t *testing.T) {
 	// Initial crash + MaxTaskRestarts failed restarts.
 	if got := exec.TaskFailures(); got < 3 {
 		t.Errorf("TaskFailures() = %d, want >= 3", got)
+	}
+
+	// The degradation must be on the audit trail with the vertex, the
+	// exhausted restart budget and the final panic reason.
+	byKind := eventsByKind(rec)
+	degraded := byKind[obs.KindVertexDegraded]
+	if len(degraded) == 0 {
+		t.Fatal("no vertex_degraded event recorded")
+	}
+	lc := degraded[0].Lifecycle
+	if lc.Vertex != "work" || lc.Attempts < 2 || !strings.Contains(lc.Reason, "always down") {
+		t.Errorf("vertex_degraded payload incomplete: %+v", lc)
+	}
+	if len(byKind[obs.KindTaskRestart]) != 2 {
+		t.Errorf("task_restart events: got %d, want 2 (MaxTaskRestarts)", len(byKind[obs.KindTaskRestart]))
+	}
+	if len(byKind[obs.KindDropCounters]) != 1 {
+		t.Errorf("drop_counters events at shutdown: got %d, want 1", len(byKind[obs.KindDropCounters]))
 	}
 }
 

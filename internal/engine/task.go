@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/qos"
 )
 
@@ -43,6 +44,11 @@ type task struct {
 	// rwPending holds consume times of sampled records awaiting the next
 	// write (read-write task latency).
 	rwPending []time.Time
+
+	// curSpan is the trace span of the record currently being processed
+	// (or emitted, for sources); records emitted meanwhile inherit it.
+	// Task-goroutine-only state.
+	curSpan *obs.Span
 
 	// busyNs integrates UDF time for utilization reporting.
 	busyNs atomic.Int64
@@ -89,6 +95,9 @@ func newTask(ex *execution, id model.TaskID, udf UDF, src *SourceSpec, seed int6
 func (t *task) emit(edgeIdx int, rec Record) {
 	if edgeIdx < 0 || edgeIdx >= len(t.gates) {
 		return
+	}
+	if rec.span == nil {
+		rec.span = t.curSpan
 	}
 	now := time.Now()
 	// A write completes read-write latency measurement.
@@ -174,7 +183,9 @@ func (t *task) handleBatch(b batch) {
 	for _, rec := range b.items {
 		t.reporter.RecordArrival(nowSeconds(time.Now()))
 		start := time.Now()
+		t.curSpan = rec.span
 		t.udf.Process(&t.ctx, rec)
+		t.curSpan = nil
 		service := time.Since(start)
 		t.busyNs.Add(int64(service))
 		t.reporter.RecordService(service.Seconds())
@@ -184,6 +195,17 @@ func (t *task) handleBatch(b batch) {
 			}
 		} else {
 			t.reporter.RecordTaskLatency(service.Seconds())
+		}
+		if rec.span != nil {
+			// Per-hop decomposition: time buffered at the producer, no
+			// separable network transit (in-process channels), then wait
+			// from ship to service start.
+			batchDelay := b.shipped.Sub(b.oldestBuf).Seconds()
+			wait := start.Sub(b.shipped).Seconds()
+			rec.span.Hop(t.id.Vertex, chID.Edge.String(), batchDelay, 0, wait, service.Seconds())
+			if len(t.gates) == 0 {
+				rec.span.Finish(nowSeconds(time.Now()))
+			}
 		}
 		t.processed.Add(1)
 		done++
@@ -300,7 +322,9 @@ func (t *task) runSource() {
 			}
 			emitStart := time.Now()
 			t.reporter.RecordArrival(nowSeconds(emitStart))
+			t.curSpan = t.ex.cfg.Tracer.StartSpan(nowSeconds(emitStart))
 			t.src.Emit(&t.ctx)
+			t.curSpan = nil
 			emitCost := time.Since(emitStart)
 			t.busyNs.Add(int64(emitCost))
 			t.reporter.RecordService(emitCost.Seconds())

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nephelix/internal/apps"
+	"nephelix/internal/obs"
 	"nephelix/internal/sim"
 	"nephelix/internal/workload"
 )
@@ -29,6 +30,11 @@ type FaultsOptions struct {
 	// kill within which a fulfilled interval must occur (default 6).
 	RecoveryBudget int
 	Seed           int64
+	// Recorder, when set, receives the run's scaling-decision audit
+	// trail (exportable as JSONL).
+	Recorder *obs.Recorder
+	// Tracer, when set, head-samples record traces through the run.
+	Tracer *obs.Tracer
 }
 
 // FaultsQuick returns the laptop-scale configuration.
@@ -118,6 +124,8 @@ func RunFaults(opts FaultsOptions) (*FaultsResult, error) {
 			Fraction: opts.KillFraction,
 		}},
 	}
+	cfg.Recorder = opts.Recorder
+	cfg.Tracer = opts.Tracer
 
 	// Track per-adjustment-interval fulfillment around the kill via the
 	// probe's fulfillment counter deltas.

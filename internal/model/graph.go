@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -113,6 +114,17 @@ type EdgeKey struct {
 
 // String renders the edge key as "source->target".
 func (k EdgeKey) String() string { return k.Source + "->" + k.Target }
+
+// ParseEdgeKey inverts EdgeKey.String: it splits "source->target" at the
+// first "->". Vertex names therefore must not contain "->" when edge
+// keys round-trip through text (JSON summaries, trace reports).
+func ParseEdgeKey(s string) (EdgeKey, error) {
+	i := strings.Index(s, "->")
+	if i < 0 {
+		return EdgeKey{}, fmt.Errorf("model: edge key %q has no \"->\" separator", s)
+	}
+	return EdgeKey{Source: s[:i], Target: s[i+2:]}, nil
+}
 
 // JobEdge is a directed edge of the job graph, connecting the tasks of two
 // adjacent job vertices according to a wiring pattern.

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Metric is one sample exposed on /metrics in Prometheus text format.
+type Metric struct {
+	// Name is the metric name (e.g. "nephelix_vertex_parallelism").
+	Name string
+	// Help is the one-line # HELP text (optional).
+	Help string
+	// Type is "gauge" or "counter" (default "gauge").
+	Type string
+	// Labels are rendered sorted by key.
+	Labels map[string]string
+	Value  float64
+}
+
+// ServerConfig wires the introspection endpoints to a run's state. All
+// fields are optional; absent ones degrade to empty responses.
+type ServerConfig struct {
+	// Recorder backs /scaler/decisions and the event counters on
+	// /metrics.
+	Recorder *Recorder
+	// Tracer contributes span counters to /metrics.
+	Tracer *Tracer
+	// Metrics, when set, supplies additional application metrics per
+	// scrape (e.g. from a GaugeSet).
+	Metrics func() []Metric
+}
+
+// NewHandler returns the introspection mux: /healthz, /metrics
+// (Prometheus text format), /debug/pprof/* and /scaler/decisions
+// (recent audit trail as JSON; ?n=K limits to the newest K events).
+func NewHandler(cfg ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, collectMetrics(cfg))
+	})
+	mux.HandleFunc("/scaler/decisions", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil {
+				n = v
+			}
+		}
+		events := cfg.Recorder.Decisions()
+		if n > 0 && n < len(events) {
+			events = events[len(events)-n:]
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if events == nil {
+			events = []Event{}
+		}
+		_ = json.NewEncoder(w).Encode(events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// collectMetrics assembles the built-in recorder/tracer metrics plus
+// the application's.
+func collectMetrics(cfg ServerConfig) []Metric {
+	var ms []Metric
+	if cfg.Recorder != nil {
+		ms = append(ms,
+			Metric{Name: "nephelix_obs_events_total", Help: "Events recorded by the flight recorder.", Type: "counter", Value: float64(cfg.Recorder.Total())},
+			Metric{Name: "nephelix_obs_events_buffered", Help: "Events currently held in the ring buffer.", Value: float64(cfg.Recorder.Len())},
+		)
+	}
+	if cfg.Tracer != nil {
+		n, mean := cfg.Tracer.EndToEnd()
+		ms = append(ms,
+			Metric{Name: "nephelix_trace_emissions_total", Help: "Source emissions observed by the tracer.", Type: "counter", Value: float64(cfg.Tracer.Emissions())},
+			Metric{Name: "nephelix_trace_spans_total", Help: "Spans started by head sampling.", Type: "counter", Value: float64(cfg.Tracer.Spans())},
+			Metric{Name: "nephelix_trace_finished_total", Help: "Spans finished at a sink.", Type: "counter", Value: float64(n)},
+			Metric{Name: "nephelix_trace_e2e_mean_seconds", Help: "Mean end-to-end latency of finished spans.", Value: mean},
+		)
+	}
+	if cfg.Metrics != nil {
+		ms = append(ms, cfg.Metrics()...)
+	}
+	return ms
+}
+
+// writeMetrics renders metrics in the Prometheus text exposition
+// format. Metrics sharing a name emit HELP/TYPE once (first wins).
+func writeMetrics(w http.ResponseWriter, ms []Metric) {
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		if !seen[m.Name] {
+			seen[m.Name] = true
+			if m.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help)
+			}
+			typ := m.Type
+			if typ == "" {
+				typ = "gauge"
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ)
+		}
+		if len(m.Labels) == 0 {
+			fmt.Fprintf(w, "%s %s\n", m.Name, formatValue(m.Value))
+			continue
+		}
+		keys := make([]string, 0, len(m.Labels))
+		for k := range m.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%s=%q", k, m.Labels[k])
+		}
+		fmt.Fprintf(w, "%s{%s} %s\n", m.Name, b.String(), formatValue(m.Value))
+	}
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Serve starts the introspection server on addr in the background and
+// returns it once the listener is bound (so scrapes cannot race the
+// bind). Shut it down with Server.Close.
+func Serve(addr string, cfg ServerConfig) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewHandler(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, nil
+}
+
+// GaugeSet is a small thread-safe bridge between a running system and
+// /metrics: the runtime sets named values, each scrape snapshots them.
+// Metric identity is name plus labels; Set on the same identity
+// overwrites.
+type GaugeSet struct {
+	mu     sync.Mutex
+	order  []string
+	gauges map[string]Metric
+}
+
+// NewGaugeSet returns an empty gauge set.
+func NewGaugeSet() *GaugeSet {
+	return &GaugeSet{gauges: make(map[string]Metric)}
+}
+
+// Set stores a gauge sample. Labels may be nil.
+func (g *GaugeSet) Set(name string, labels map[string]string, value float64) {
+	if g == nil {
+		return
+	}
+	m := Metric{Name: name, Labels: labels, Value: value}
+	key := metricKey(m)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.gauges[key]; !ok {
+		g.order = append(g.order, key)
+	}
+	g.gauges[key] = m
+}
+
+// Metrics snapshots the gauges in insertion order; pass it as
+// ServerConfig.Metrics.
+func (g *GaugeSet) Metrics() []Metric {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Metric, 0, len(g.order))
+	for _, key := range g.order {
+		out = append(out, g.gauges[key])
+	}
+	return out
+}
+
+// metricKey builds the identity key of a metric sample.
+func metricKey(m Metric) string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(m.Name)
+	for _, k := range keys {
+		b.WriteByte('\x00')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m.Labels[k])
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@
 package probe
 
 import (
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
@@ -117,12 +118,27 @@ func (p *Probe) TotalCount() int64 {
 // before the simulation starts, so behaviors can close over them.
 type ProbeSet struct {
 	mu     sync.Mutex
+	seed   int64
 	probes map[string]*Probe
 }
 
-// NewProbeSet returns an empty probe set.
-func NewProbeSet() *ProbeSet {
-	return &ProbeSet{probes: make(map[string]*Probe)}
+// NewProbeSet returns an empty probe set with the default seed.
+func NewProbeSet() *ProbeSet { return NewProbeSetSeeded(1) }
+
+// NewProbeSetSeeded returns an empty probe set whose reservoir sampling
+// is derived from seed. Each probe's reservoirs are seeded from the set
+// seed mixed with a hash of the probe name, so sampling is a pure
+// function of (seed, name) — independent of the order in which probes
+// are first requested.
+func NewProbeSetSeeded(seed int64) *ProbeSet {
+	return &ProbeSet{seed: seed, probes: make(map[string]*Probe)}
+}
+
+// probeSeed derives a per-probe, per-purpose reservoir seed.
+func (ps *ProbeSet) probeSeed(name string, purpose uint64) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return ps.seed ^ int64(h.Sum64()^(purpose*0x9e3779b97f4a7c15))
 }
 
 // Probe returns (creating on first use) the named probe.
@@ -133,8 +149,8 @@ func (ps *ProbeSet) Probe(name string) *Probe {
 	if !ok {
 		p = &Probe{
 			Name:   name,
-			recRes: metrics.NewReservoir(4096, rand.New(rand.NewSource(int64(len(ps.probes))+1))),
-			all:    metrics.NewReservoir(16384, rand.New(rand.NewSource(int64(len(ps.probes))+100))),
+			recRes: metrics.NewReservoir(4096, rand.New(rand.NewSource(ps.probeSeed(name, 1)))),
+			all:    metrics.NewReservoir(16384, rand.New(rand.NewSource(ps.probeSeed(name, 2)))),
 		}
 		ps.probes[name] = p
 	}

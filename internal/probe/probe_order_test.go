@@ -1,0 +1,68 @@
+package probe
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestObsProbeSamplingOrderIndependent: a probe's reservoir sampling is a
+// pure function of (set seed, probe name) — the order in which probes are
+// first requested must not change any probe's percentile estimates.
+// (Previously seeds were derived from the creation index, so registering
+// an unrelated probe first silently shifted every later probe's p95.)
+func TestObsProbeSamplingOrderIndependent(t *testing.T) {
+	feed := func(p *Probe, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 50000; i++ {
+			p.Record(rng.ExpFloat64() * 0.010)
+		}
+	}
+
+	forward := NewProbeSetSeeded(7)
+	a1 := forward.Probe("alpha")
+	forward.Probe("beta") // registered but unused
+	feed(a1, 42)
+
+	reversed := NewProbeSetSeeded(7)
+	reversed.Probe("beta")
+	reversed.Probe("gamma") // extra registration must not matter either
+	a2 := reversed.Probe("alpha")
+	feed(a2, 42)
+
+	if p1, p2 := a1.TotalP95(), a2.TotalP95(); p1 != p2 {
+		t.Errorf("creation order changed alpha's p95: %v vs %v", p1, p2)
+	}
+	_, _, r1 := a1.RecSnapshot()
+	_, _, r2 := a2.RecSnapshot()
+	if r1 != r2 {
+		t.Errorf("creation order changed alpha's record-interval p95: %v vs %v", r1, r2)
+	}
+}
+
+// TestObsProbeSamplingSeedAndNameSensitivity: different set seeds (and
+// different probe names) must still produce distinct reservoirs, so the
+// order-independence fix does not collapse all sampling onto one stream.
+func TestObsProbeSamplingSeedAndNameSensitivity(t *testing.T) {
+	feed := func(p *Probe) {
+		rng := rand.New(rand.NewSource(9))
+		// Overfill the 16384-slot reservoir so sampling decisions matter.
+		for i := 0; i < 100000; i++ {
+			p.Record(rng.ExpFloat64() * 0.010)
+		}
+	}
+	s1 := NewProbeSetSeeded(1).Probe("alpha")
+	s2 := NewProbeSetSeeded(2).Probe("alpha")
+	feed(s1)
+	feed(s2)
+	if s1.TotalP95() == s2.TotalP95() {
+		t.Error("different set seeds produced identical reservoir samples")
+	}
+
+	ps := NewProbeSetSeeded(1)
+	pa, pb := ps.Probe("alpha"), ps.Probe("beta")
+	feed(pa)
+	feed(pb)
+	if pa.TotalP95() == pb.TotalP95() {
+		t.Error("different probe names produced identical reservoir samples")
+	}
+}

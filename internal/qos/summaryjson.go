@@ -1,0 +1,51 @@
+package qos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nephelix/internal/model"
+)
+
+// summaryJSON is the wire form of a Summary: the edge map is keyed by
+// EdgeKey.String() ("source->target") because JSON objects only take
+// string keys.
+type summaryJSON struct {
+	Vertices map[string]VertexStats `json:"vertices"`
+	Edges    map[string]EdgeStats   `json:"edges"`
+}
+
+// MarshalJSON renders the summary with edge keys in "source->target"
+// form, so summaries embed cleanly into decision logs and trace reports.
+func (s *Summary) MarshalJSON() ([]byte, error) {
+	out := summaryJSON{
+		Vertices: s.Vertices,
+		Edges:    make(map[string]EdgeStats, len(s.Edges)),
+	}
+	for k, e := range s.Edges {
+		out.Edges[k.String()] = e
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON parses the MarshalJSON form back, reconstructing the
+// typed edge keys.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var in summaryJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	s.Vertices = in.Vertices
+	if s.Vertices == nil {
+		s.Vertices = make(map[string]VertexStats)
+	}
+	s.Edges = make(map[model.EdgeKey]EdgeStats, len(in.Edges))
+	for ks, e := range in.Edges {
+		k, err := model.ParseEdgeKey(ks)
+		if err != nil {
+			return fmt.Errorf("qos: summary edge key: %w", err)
+		}
+		s.Edges[k] = e
+	}
+	return nil
+}

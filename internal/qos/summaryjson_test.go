@@ -1,0 +1,106 @@
+package qos
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"nephelix/internal/model"
+)
+
+func testSummary() *Summary {
+	s := NewSummary()
+	s.Vertices["filter"] = VertexStats{
+		TaskLatency:      0.012,
+		ServiceTimeMean:  0.004,
+		ServiceTimeCV:    0.5,
+		InterarrivalMean: 0.008,
+		InterarrivalCV:   1.25,
+		Parallelism:      4,
+		Tasks:            4,
+		Samples:          1000,
+		FreshTasks:       4,
+	}
+	s.Vertices["sink"] = VertexStats{
+		TaskLatency:      0.001,
+		ServiceTimeMean:  0.0005,
+		InterarrivalMean: 0.002,
+		Parallelism:      2,
+		Tasks:            2,
+		Samples:          500,
+		FreshTasks:       2,
+	}
+	s.Edges[model.EdgeKey{Source: "src", Target: "filter"}] = EdgeStats{
+		ChannelLatency:     0.020,
+		OutputBatchLatency: 0.015,
+		Samples:            800,
+		FreshChannels:      8,
+	}
+	s.Edges[model.EdgeKey{Source: "filter", Target: "sink"}] = EdgeStats{
+		ChannelLatency:     0.003,
+		OutputBatchLatency: 0.001,
+		Samples:            400,
+		FreshChannels:      8,
+	}
+	return s
+}
+
+// TestObsSummaryStringGolden pins the deterministic log rendering that
+// the attribution report and the operator docs quote.
+func TestObsSummaryStringGolden(t *testing.T) {
+	want := "" +
+		"filter: l=0.012000 S=0.004000 cS=0.500 A=0.008000 cA=1.250 p=4 rho=0.500\n" +
+		"sink: l=0.001000 S=0.000500 cS=0.000 A=0.002000 cA=0.000 p=2 rho=0.250\n" +
+		"filter->sink: l=0.003000 obl=0.001000 W=0.002000\n" +
+		"src->filter: l=0.020000 obl=0.015000 W=0.005000\n"
+	if got := testSummary().String(); got != want {
+		t.Errorf("String() =\n%s\nwant\n%s", got, want)
+	}
+}
+
+// TestObsSummaryJSONRoundTrip: Marshal then Unmarshal must reproduce the
+// summary exactly, including the typed edge keys.
+func TestObsSummaryJSONRoundTrip(t *testing.T) {
+	s := testSummary()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	// Edge keys travel as "source->target" strings.
+	var wire struct {
+		Edges map[string]json.RawMessage `json:"edges"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		t.Fatalf("wire decode: %v", err)
+	}
+	if _, ok := wire.Edges["src->filter"]; !ok {
+		t.Errorf("wire form does not use string edge keys: %s", data)
+	}
+	var back Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(s.Vertices, back.Vertices) {
+		t.Errorf("vertices changed across round trip:\n%+v\n%+v", s.Vertices, back.Vertices)
+	}
+	if !reflect.DeepEqual(s.Edges, back.Edges) {
+		t.Errorf("edges changed across round trip:\n%+v\n%+v", s.Edges, back.Edges)
+	}
+	// The rendering of the round-tripped summary must match too.
+	if s.String() != back.String() {
+		t.Errorf("String() differs after round trip:\n%s\n%s", s.String(), back.String())
+	}
+}
+
+func TestObsSummaryJSONEmpty(t *testing.T) {
+	var back Summary
+	if err := json.Unmarshal([]byte(`{}`), &back); err != nil {
+		t.Fatalf("Unmarshal {}: %v", err)
+	}
+	if back.Vertices == nil || back.Edges == nil {
+		t.Error("empty document must decode to usable (non-nil) maps")
+	}
+	if err := json.Unmarshal([]byte(`{"edges":{"nosep":{}}}`), &back); err == nil {
+		t.Error("malformed edge key must error")
+	}
+}

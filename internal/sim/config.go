@@ -6,6 +6,7 @@ import (
 
 	"nephelix/internal/core"
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/qos"
 	"nephelix/internal/workload"
 )
@@ -183,6 +184,16 @@ type Config struct {
 	// decision (nil during inactivity or when not elastic). Intended for
 	// debugging and experiment instrumentation.
 	OnAdjust func(info AdjustmentInfo)
+	// Recorder, when set, receives one scaling_decision audit event per
+	// adjustment interval in which the elastic scaler produced a
+	// decision (model inputs, Rebalance steps, gating holds, old→new
+	// parallelism).
+	Recorder *obs.Recorder
+	// Tracer, when set, head-samples source emissions and attributes
+	// their end-to-end latency to per-hop batch delay, network transit,
+	// queue wait and service time. Nil disables tracing at near-zero
+	// cost.
+	Tracer *obs.Tracer
 }
 
 // AdjustmentInfo is the control-plane state passed to Config.OnAdjust.

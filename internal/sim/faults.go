@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 )
 
 // TaskKill abruptly kills tasks of one vertex at virtual time At. Unlike
@@ -147,7 +148,16 @@ func (s *Sim) injectNodeKill(k NodeKill, p *FaultPlan) {
 func (s *Sim) scheduleRespawn(v *simVertex, n int, delay float64) {
 	s.q.push(s.now+delay, func() {
 		s.accountUsage()
-		s.respawnedTasks += v.addTasks(n)
+		added := v.addTasks(n)
+		s.respawnedTasks += added
+		if s.cfg.Recorder != nil && added > 0 {
+			s.cfg.Recorder.RecordLifecycle(s.now, obs.KindTaskRestart, obs.Lifecycle{
+				Vertex:         v.jv.Name,
+				Reason:         "fault respawn",
+				Attempts:       added,
+				BackoffSeconds: delay,
+			})
+		}
 	})
 }
 
@@ -179,6 +189,7 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 	if t.disposed {
 		return
 	}
+	lostBefore := s.killedItems
 	s.accountUsage() // integrate usage before the task count drops
 	v := t.vtx
 	for i, x := range v.tasks {
@@ -257,6 +268,14 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 		}
 	}
 	s.killedTasks++
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.RecordLifecycle(s.now, obs.KindTaskKill, obs.Lifecycle{
+			Vertex:      t.id.Vertex,
+			Task:        t.id.String(),
+			Reason:      "fault injection",
+			LostRecords: s.killedItems - lostBefore,
+		})
+	}
 	s.compactChannels()
 	for _, p := range resumed {
 		s.resume(p)

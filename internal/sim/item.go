@@ -1,5 +1,7 @@
 package sim
 
+import "nephelix/internal/obs"
+
 // Item is one simulated data item flowing through the runtime graph.
 // Items are passed by value in batches to keep allocation low.
 type Item struct {
@@ -32,4 +34,13 @@ type Item struct {
 	// src is the channel that delivered the item to the current task; the
 	// consumer records channel latency against it at dequeue time.
 	src *simChannel
+
+	// span is the item's trace span (nil unless the item descends from a
+	// head-sampled emission and tracing is on). It travels with the
+	// value copy and is inherited by items emitted while processing a
+	// traced item.
+	span *obs.Span
+	// arrive is the time the item was enqueued at the current consumer;
+	// the traced queue wait is measured from it.
+	arrive float64
 }

@@ -1,0 +1,279 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"nephelix/internal/core"
+	"nephelix/internal/model"
+	"nephelix/internal/obs"
+	"nephelix/internal/workload"
+)
+
+// elasticObsConfig is the elastic step-load pipeline of
+// TestSimElasticScalesUpAndDown with a flight recorder attached.
+func elasticObsConfig(t *testing.T, probes *ProbeSet) Config {
+	t.Helper()
+	sched := &workload.StepSchedule{
+		WarmUpRate:     40,
+		StepDelta:      160,
+		IncrementSteps: 2,
+		StepDuration:   60,
+	}
+	cfg := pipelineConfig(t, probes, sched, false, 4,
+		func(int) Behavior { return &testServer{mean: 0.010, exponential: true} })
+	cfg.Edges[model.EdgeKey{Source: "src", Target: "server"}] = EdgeConfig{Mode: BatchAdaptive}
+	cfg.Edges[model.EdgeKey{Source: "server", Target: "sink"}] = EdgeConfig{Mode: BatchAdaptive}
+	seq, err := model.ParseSequence(cfg.Graph, "src->server", "server", "server->sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Constraints = []*model.Constraint{{
+		Name: "c30", Sequence: seq, Bound: 30 * time.Millisecond, Window: 10 * time.Second,
+	}}
+	probes.SetBound("e2e", 0.030)
+	cfg.Elastic = true
+	cfg.Scaler = core.DefaultScalerConfig()
+	return cfg
+}
+
+// TestObsSimDecisionAudit runs the elastic pipeline with a recorder and
+// checks the audit trail's core promise: every parallelism change the
+// run performed is traceable to a logged decision event carrying the
+// model inputs that justified it.
+func TestObsSimDecisionAudit(t *testing.T) {
+	probes := NewProbeSet()
+	cfg := elasticObsConfig(t, probes)
+	rec := obs.NewRecorder(0)
+	cfg.Recorder = rec
+	s, err := New(cfg, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PoolExhausted != 0 {
+		t.Fatalf("pool exhaustion would decouple desired from actual parallelism: %d", res.PoolExhausted)
+	}
+	decisions := rec.Decisions()
+	if len(decisions) == 0 {
+		t.Fatal("elastic run recorded no scaling decisions")
+	}
+
+	ups, downs := 0, 0
+	lastInterval := 0
+	for i, ev := range decisions {
+		d := ev.Decision
+		if d.Interval <= lastInterval {
+			t.Errorf("decision %d: interval %d not increasing past %d", i, d.Interval, lastInterval)
+		}
+		lastInterval = d.Interval
+		if d.Old == nil || d.New == nil {
+			t.Fatalf("decision %d: missing parallelism snapshots: %+v", i, d)
+		}
+		// Chain consistency: this decision was made against the state the
+		// previous decision produced (nothing else changes parallelism).
+		if i > 0 {
+			prev := decisions[i-1].Decision
+			if want, ok := prev.New["server"]; ok && d.Old["server"] != want {
+				t.Errorf("decision %d: Old[server]=%d but previous decision set %d",
+					i, d.Old["server"], want)
+			}
+		}
+		for _, a := range d.Actions {
+			if a == "" {
+				t.Errorf("decision %d: empty action string", i)
+			}
+		}
+		if d.New["server"] > d.Old["server"] {
+			ups++
+		} else if d.New["server"] < d.Old["server"] {
+			downs++
+		}
+		// Every applied change must be justified: a Rebalance-path decision
+		// carries the fitted Kingman inputs and descent steps.
+		if len(d.Actions) > 0 {
+			justified := false
+			for _, cd := range d.Constraints {
+				if cd.Bottleneck || len(cd.Model) > 0 {
+					justified = true
+					if len(cd.Model) > 0 {
+						m := cd.Model[0]
+						if m.Lambda <= 0 || m.ServiceMean <= 0 {
+							t.Errorf("decision %d: model inputs not populated: %+v", i, m)
+						}
+					}
+				}
+			}
+			if !justified {
+				t.Errorf("decision %d changed parallelism without model inputs or a bottleneck flag: %+v", i, d)
+			}
+		}
+	}
+	if ups != res.ScaleUps || downs != res.ScaleDowns {
+		t.Errorf("audit trail shows %d ups / %d downs, run performed %d / %d",
+			ups, downs, res.ScaleUps, res.ScaleDowns)
+	}
+	if ups == 0 || downs == 0 {
+		t.Errorf("step load should both scale up and down (ups=%d downs=%d)", ups, downs)
+	}
+
+	// The exported JSONL must be parseable line by line.
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("JSONL line %d does not parse: %v", lines, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning JSONL: %v", err)
+	}
+	if lines != rec.Len() {
+		t.Errorf("JSONL has %d lines, recorder holds %d events", lines, rec.Len())
+	}
+}
+
+// TestObsSimTracingAttribution head-samples a steady M/M/1-style run and
+// checks that the traced per-hop decomposition is complete and consistent
+// with the untreated ground-truth probe.
+func TestObsSimTracingAttribution(t *testing.T) {
+	probes := NewProbeSet()
+	cfg := pipelineConfig(t, probes,
+		&workload.ConstantSchedule{RatePerSecond: 80, Length: 300}, true, 1,
+		func(int) Behavior { return &testServer{mean: 0.010, exponential: true} })
+	tr := obs.NewTracer(5)
+	cfg.Tracer = tr
+	s, err := New(cfg, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DroppedItems != 0 {
+		t.Fatalf("dropped items break span accounting: %d", res.DroppedItems)
+	}
+
+	emitted := uint64(res.Emitted["src"])
+	if tr.Emissions() != emitted {
+		t.Errorf("tracer saw %d emissions, source emitted %d", tr.Emissions(), emitted)
+	}
+	wantSpans := int64((emitted + 4) / 5)
+	if tr.Spans() != wantSpans {
+		t.Errorf("spans: got %d, want %d (every 5th of %d)", tr.Spans(), wantSpans, emitted)
+	}
+	finished, e2e := tr.EndToEnd()
+	if finished != tr.Spans() {
+		t.Errorf("finished %d of %d spans; all traced items reach the sink here", finished, tr.Spans())
+	}
+
+	// Every span records exactly one hop into server and one into sink.
+	for _, vertex := range []string{"server", "sink"} {
+		if n, svc := tr.VertexAttribution(vertex); n != finished || svc < 0 {
+			t.Errorf("vertex %s: %d samples (want %d), service %v", vertex, n, finished, svc)
+		}
+	}
+	nHop, batch, transit, wait, channel := tr.EdgeAttribution("src->server")
+	if nHop != finished {
+		t.Errorf("edge src->server: %d samples, want %d", nHop, finished)
+	}
+	if math.Abs(channel-(batch+transit+wait)) > 1e-9 {
+		t.Errorf("channel %v != batch %v + transit %v + wait %v", channel, batch, transit, wait)
+	}
+
+	// The traced end-to-end mean must agree with the probe's ground truth
+	// (the probe sees every record, the tracer every 5th).
+	probeMean := res.Probes["e2e"].Mean
+	if e2e <= 0 || math.Abs(e2e-probeMean) > 0.25*probeMean {
+		t.Errorf("traced e2e mean %v deviates from probe mean %v", e2e, probeMean)
+	}
+
+	// And the decomposition must add up: the end-to-end latency is the sum
+	// of the per-hop channel and service pieces (within sampling noise).
+	_, svcServer := tr.VertexAttribution("server")
+	_, svcSink := tr.VertexAttribution("sink")
+	_, _, _, _, chanSink := tr.EdgeAttribution("server->sink")
+	sum := channel + svcServer + chanSink + svcSink
+	if math.Abs(sum-e2e) > 0.15*e2e {
+		t.Errorf("hop decomposition sums to %v, e2e mean is %v", sum, e2e)
+	}
+
+	rep := tr.AttributionReport(nil)
+	for _, want := range []string{"vertex server:", "edge src->server:", "edge server->sink:"} {
+		if !bytes.Contains([]byte(rep), []byte(want)) {
+			t.Errorf("attribution report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestObsSimTracingDeterministic: with a fixed seed, head sampling is part
+// of the deterministic event order — two runs yield identical attribution.
+func TestObsSimTracingDeterministic(t *testing.T) {
+	run := func() string {
+		probes := NewProbeSet()
+		cfg := pipelineConfig(t, probes,
+			&workload.ConstantSchedule{RatePerSecond: 100, Length: 60}, true, 2,
+			func(int) Behavior { return &testServer{mean: 0.01, exponential: true} })
+		tr := obs.NewTracer(7)
+		cfg.Tracer = tr
+		s, err := New(cfg, probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return tr.AttributionReport(nil)
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed produced different attribution reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+// TestObsSimUntracedRunUnchanged: attaching no tracer/recorder must leave
+// results identical to the seed behavior (the zero-overhead contract is
+// benchmarked separately; this guards behavioral equivalence).
+func TestObsSimUntracedRunUnchanged(t *testing.T) {
+	run := func(withObs bool) *Result {
+		probes := NewProbeSet()
+		cfg := pipelineConfig(t, probes,
+			&workload.ConstantSchedule{RatePerSecond: 100, Length: 60}, true, 2,
+			func(int) Behavior { return &testServer{mean: 0.01, exponential: true} })
+		if withObs {
+			cfg.Tracer = obs.NewTracer(10)
+			cfg.Recorder = obs.NewRecorder(64)
+		}
+		s, err := New(cfg, probes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, traced := run(false), run(true)
+	if plain.Emitted["src"] != traced.Emitted["src"] {
+		t.Errorf("tracing changed emission count: %d vs %d", plain.Emitted["src"], traced.Emitted["src"])
+	}
+	if plain.Probes["e2e"].Mean != traced.Probes["e2e"].Mean {
+		t.Errorf("tracing changed the simulation outcome: %v vs %v",
+			plain.Probes["e2e"].Mean, traced.Probes["e2e"].Mean)
+	}
+}

@@ -15,3 +15,8 @@ type (
 
 // NewProbeSet returns an empty probe set.
 func NewProbeSet() *ProbeSet { return probe.NewProbeSet() }
+
+// NewProbeSetSeeded returns an empty probe set whose reservoir sampling
+// is a pure function of (seed, probe name) — independent of probe
+// creation order, so runs stay deterministic when probes are added.
+func NewProbeSetSeeded(seed int64) *ProbeSet { return probe.NewProbeSetSeeded(seed) }

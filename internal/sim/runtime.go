@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/qos"
 )
 
@@ -121,6 +122,10 @@ type simTask struct {
 	// write (read-write task latency).
 	rwPending []float64
 
+	// curSpan is the trace span of the item currently being processed
+	// (or emitted, for sources); items emitted meanwhile inherit it.
+	curSpan *obs.Span
+
 	reporter *qos.TaskReporter
 	mgr      *qos.Manager
 
@@ -196,6 +201,11 @@ func (s *Sim) emit(t *simTask, edgeIdx int, it Item) {
 	}
 	it.BufferTime = s.now
 	it.src = nil
+	if it.span == nil {
+		// Inherit the span of the item being processed (or of the traced
+		// source emission), so derived items keep the trace alive.
+		it.span = t.curSpan
+	}
 
 	var buf *gateBuf
 	if g.pattern == model.PatternKeyBased {
@@ -384,6 +394,7 @@ func (s *Sim) acceptBatch(ch *simChannel, batch []Item) {
 	to.pendingOverhead += s.cfg.Costs.ReceiveCPU
 	for i := range batch {
 		batch[i].src = ch
+		batch[i].arrive = s.now
 		to.reporter.RecordArrival(s.now)
 		to.pushQueue(batch[i])
 	}
@@ -488,7 +499,21 @@ func (s *Sim) completeService(t *simTask, it Item, st float64) {
 	} else {
 		t.reporter.RecordTaskLatency(st)
 	}
+	if it.span != nil && it.src != nil {
+		// Decompose the hop into the Table I latency pieces: time spent in
+		// the producer's output buffer, network transit, queue wait at this
+		// task, and the service time itself.
+		batchDelay := it.ShipTime - it.BufferTime
+		transit := it.arrive - it.ShipTime
+		wait := (s.now - st) - it.arrive
+		it.span.Hop(t.vtx.jv.Name, it.src.edge.String(), batchDelay, transit, wait, st)
+		if len(t.gates) == 0 {
+			it.span.Finish(s.now)
+		}
+	}
+	t.curSpan = it.span
 	t.behavior.Process(&t.ctx, it)
+	t.curSpan = nil
 	s.maybeStart(t)
 }
 

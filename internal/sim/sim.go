@@ -9,6 +9,7 @@ import (
 	"nephelix/internal/cluster"
 	"nephelix/internal/core"
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/qos"
 )
 
@@ -58,6 +59,7 @@ type Sim struct {
 	scaleUps            int
 	scaleDowns          int
 	infeasible          int
+	adjustRounds        int
 	retiredBusy         float64
 	lastBusySum         float64
 	lastTaskSeconds     float64
@@ -326,7 +328,9 @@ func (s *Sim) sourceEmit(t *simTask) {
 	t.reporter.RecordArrival(s.now)
 	t.reporter.RecordService(cost)
 	t.reporter.RecordTaskLatency(cost)
+	t.curSpan = s.cfg.Tracer.StartSpan(s.now)
 	src.Emit(&t.ctx, s.now)
+	t.curSpan = nil
 	s.emitted[t.vtx.jv.Name]++
 
 	n := len(t.vtx.tasks)
@@ -421,10 +425,14 @@ func (s *Sim) adjustmentTick() {
 		s.applyDeadlines(deadlines)
 	}
 
+	s.adjustRounds++
 	var decision *core.Decision
 	var decErr error
 	if s.scaler != nil {
 		decision, decErr = s.scaler.Decide(global, par)
+	}
+	if decision != nil && s.cfg.Recorder != nil {
+		s.cfg.Recorder.RecordDecision(s.now, obs.NewScalingDecision(s.adjustRounds, decision, par))
 	}
 	if s.cfg.OnAdjust != nil {
 		s.cfg.OnAdjust(AdjustmentInfo{Now: s.now, Summary: global, Deadlines: s.deadlines, Decision: decision})
