@@ -6,13 +6,16 @@
 //
 // Usage:
 //
-//	experiments [-out DIR] [-paper] [fig3|fig5|fig6|taskhours|fig8|faults|all]
+//	experiments [-out DIR] [-paper] [fig3|fig5|fig6|taskhours|fig8|faults|bench|all]
 //
 // Without -paper the quick (laptop-scale) variants run; -paper uses the
 // full 130-node topology and 60 s steps (minutes of wall-clock time).
+// The bench subcommand (not part of all) runs the micro-benchmark suite
+// and writes BENCH_sim.json for CI artifact diffing.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -56,6 +59,9 @@ func main() {
 func run(outDir string, paper bool, which string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
+	}
+	if which == "bench" {
+		return runBench(outDir)
 	}
 	all := which == "all"
 	failures := 0
@@ -103,7 +109,7 @@ func run(outDir string, paper bool, which string) error {
 		failures += n
 	}
 	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|all)", which)
+		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|bench|all)", which)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d shape check(s) failed", failures)
@@ -246,6 +252,25 @@ func runFaults(outDir string, paper bool) (int, error) {
 	}
 	fmt.Printf("  wrote %s (%d decision events)\n", path, len(recorder.Decisions()))
 	return n, nil
+}
+
+func runBench(outDir string) error {
+	start := time.Now()
+	suite, err := experiments.RunBenchSuite()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== bench suite (%s) ===\n%s", time.Since(start).Round(time.Millisecond), suite)
+	path := filepath.Join(outDir, "BENCH_sim.json")
+	data, err := json.MarshalIndent(suite, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
 }
 
 func runFig8(outDir string, paper bool) (int, error) {

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"nephelix/internal/apps"
+	"nephelix/internal/core"
+	"nephelix/internal/model"
+	"nephelix/internal/qos"
+	"nephelix/internal/sim"
+	"nephelix/internal/workload"
+)
+
+// The bench suite re-runs the repo's three headline micro-benchmarks
+// (simulator event throughput, the Rebalance descent, summary merging)
+// outside the testing framework, so CI can emit a machine-readable
+// BENCH_sim.json artifact from a plain `experiments bench` invocation
+// and throughput regressions show up in artifact diffs.
+
+// BenchMeasurement is one benchmark's outcome.
+type BenchMeasurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Metrics holds benchmark-specific quantities (items-simulated,
+	// items-per-second, descent iterations, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchSuite is the whole suite outcome, written to BENCH_sim.json.
+type BenchSuite struct {
+	GoVersion string             `json:"go_version"`
+	GOOS      string             `json:"goos"`
+	GOARCH    string             `json:"goarch"`
+	NumCPU    int                `json:"num_cpu"`
+	StartedAt time.Time          `json:"started_at"`
+	Results   []BenchMeasurement `json:"results"`
+}
+
+// String renders the suite in Go's benchmark output format, one line per
+// measurement, so the artifact is also benchstat-friendly when printed.
+func (s *BenchSuite) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "goos: %s\ngoarch: %s\ncpu-count: %d\n", s.GOOS, s.GOARCH, s.NumCPU)
+	for _, m := range s.Results {
+		fmt.Fprintf(&b, "Benchmark%s\t%8d\t%12.0f ns/op\t%10.0f B/op\t%8.1f allocs/op",
+			m.Name, m.Iterations, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+		keys := make([]string, 0, len(m.Metrics))
+		for k := range m.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "\t%12.1f %s", m.Metrics[k], k)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// measureBench runs fn iters times between two GC-settled memory
+// snapshots and derives per-op time and allocation figures.
+func measureBench(name string, iters int, fn func() (map[string]float64, error)) (BenchMeasurement, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var metrics map[string]float64
+	for i := 0; i < iters; i++ {
+		var err error
+		metrics, err = fn()
+		if err != nil {
+			return BenchMeasurement{}, fmt.Errorf("experiments: bench %s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return BenchMeasurement{
+		Name:        name,
+		Iterations:  iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / n,
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / n,
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / n,
+		Metrics:     metrics,
+	}, nil
+}
+
+// benchSimulatorEvents mirrors BenchmarkSimulatorEvents: a saturated
+// PrimeTester pipeline under static provisioning, reported as simulated
+// items per wall-clock second.
+func benchSimulatorEvents() (map[string]float64, error) {
+	opts := apps.ScalePrimeTesterOptions(apps.PrimeTesterOptions{
+		Sources: 32, Sinks: 32, PrimeTesters: 64,
+		Schedule: &workload.StepSchedule{
+			WarmUpRate: 10000, StepDelta: 10000, IncrementSteps: 1, StepDuration: 10,
+		},
+		Mode:        sim.BatchInstant,
+		WorkerNodes: 130, SlotsPerNode: 5, Seed: 1,
+	}, 16)
+	cfg, probes, err := apps.BuildPrimeTester(opts)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(cfg, probes)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := s.Run()
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start).Seconds()
+	items := float64(res.Emitted[apps.PTSource])
+	return map[string]float64{
+		"items-simulated": items,
+		"items/s":         items / wall,
+	}, nil
+}
+
+// benchRebalance mirrors BenchmarkRebalance: the gradient descent on a
+// 5-vertex problem.
+func benchRebalance() (map[string]float64, error) {
+	rng := rand.New(rand.NewSource(1))
+	sm := &core.SequenceModel{}
+	for i := 0; i < 5; i++ {
+		sm.Vertices = append(sm.Vertices, &core.VertexModel{
+			Name: string(rune('a' + i)), Current: 16, Min: 1, Max: 512,
+			A: 0.01 + rng.Float64()*0.2, B: rng.Float64() * 100, E: 1,
+		})
+	}
+	actions, err := core.Rebalance(sm, 0.004, nil)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]float64{"actions": float64(len(actions))}, nil
+}
+
+// benchSummaryMerge mirrors BenchmarkSummaryMerge: merging 8 partial
+// summaries of 64 tasks each.
+func benchSummaryMerge() (map[string]float64, error) {
+	partials := make([]*qos.PartialSummary, 8)
+	for i := range partials {
+		m := qos.NewManager(qos.DefaultManagerConfig())
+		for t := 0; t < 64; t++ {
+			m.ReportTask(qos.TaskReport{
+				Task:         model.TaskID{Vertex: "work", Index: i*64 + t},
+				ServiceCount: 100, ServiceMean: 0.003, ServiceCV: 0.5,
+				InterarrivalCount: 100, InterarrivalMean: 0.006, InterarrivalCV: 1.0,
+				TaskLatencyCount: 100, TaskLatencyMean: 0.003,
+			})
+		}
+		partials[i] = m.PartialSummary()
+	}
+	par := map[string]int{"work": 512}
+	s := qos.MergePartials(par, partials...)
+	vs, _ := s.Vertex("work")
+	return map[string]float64{"merged-tasks": float64(vs.Parallelism)}, nil
+}
+
+// RunBenchSuite executes the bench suite sequentially (parallel runs
+// would contend for CPU and distort the timings).
+func RunBenchSuite() (*BenchSuite, error) {
+	suite := &BenchSuite{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		StartedAt: time.Now().UTC(),
+	}
+	cases := []struct {
+		name  string
+		iters int
+		fn    func() (map[string]float64, error)
+	}{
+		{"SimulatorEvents", 3, benchSimulatorEvents},
+		{"Rebalance", 1000, benchRebalance},
+		{"SummaryMerge", 200, benchSummaryMerge},
+	}
+	for _, c := range cases {
+		m, err := measureBench(c.name, c.iters, c.fn)
+		if err != nil {
+			return nil, err
+		}
+		suite.Results = append(suite.Results, m)
+	}
+	return suite, nil
+}

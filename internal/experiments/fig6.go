@@ -97,57 +97,59 @@ func RunFig6(opts Fig6Options) (*Fig6Result, error) {
 	res := &Fig6Result{Options: opts}
 	scale := float64(opts.Scale)
 
-	// Elastic Nephele-20ms: testers in [1, 520].
-	elasticOpts := apps.ScalePrimeTesterOptions(apps.PrimeTesterOptions{
-		Sources:         32,
-		Sinks:           32,
-		PrimeTesters:    128, // deliberately high start; the warm-up dip is the scaler's doing
-		MinPT:           1,
-		MaxPT:           520,
-		Schedule:        fig6Schedule(opts),
-		Mode:            sim.BatchAdaptive,
-		ConstraintBound: 20 * time.Millisecond,
-		Elastic:         true,
-		WorkerNodes:     130,
-		SlotsPerNode:    5, // 32+32 fixed tasks plus up to 520 testers
-		Seed:            opts.Seed,
-	}, opts.Scale)
-	cfgE, probesE, err := apps.BuildPrimeTester(elasticOpts)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6 elastic: %w", err)
+	// The elastic run and the unelastic baseline are independent
+	// simulations with their own seeded RNGs; fan them across the worker
+	// pool.
+	runOpts := []apps.PrimeTesterOptions{
+		// Elastic Nephele-20ms: testers in [1, 520].
+		{
+			Sources:         32,
+			Sinks:           32,
+			PrimeTesters:    128, // deliberately high start; the warm-up dip is the scaler's doing
+			MinPT:           1,
+			MaxPT:           520,
+			Schedule:        fig6Schedule(opts),
+			Mode:            sim.BatchAdaptive,
+			ConstraintBound: 20 * time.Millisecond,
+			Elastic:         true,
+			WorkerNodes:     130,
+			SlotsPerNode:    5, // 32+32 fixed tasks plus up to 520 testers
+			Seed:            opts.Seed,
+		},
+		// Unelastic Nephele-16KiB baseline: 175 testers, tuned to the peak.
+		{
+			Sources:      32,
+			Sinks:        32,
+			PrimeTesters: 175,
+			Schedule:     fig6Schedule(opts),
+			Mode:         sim.BatchFixedBuffer,
+			WorkerNodes:  130,
+			SlotsPerNode: 5,
+			Seed:         opts.Seed + 7,
+		},
 	}
-	simE, err := sim.New(cfgE, probesE)
+	names := []string{"elastic", "baseline"}
+	outs := make([]*sim.Result, len(runOpts))
+	err := forEachRun(len(runOpts), func(i int) error {
+		cfg, probes, err := apps.BuildPrimeTester(apps.ScalePrimeTesterOptions(runOpts[i], opts.Scale))
+		if err != nil {
+			return fmt.Errorf("experiments: fig6 %s: %w", names[i], err)
+		}
+		s, err := sim.New(cfg, probes)
+		if err != nil {
+			return fmt.Errorf("experiments: fig6 %s: %w", names[i], err)
+		}
+		out, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("experiments: fig6 %s: %w", names[i], err)
+		}
+		outs[i] = out
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6 elastic: %w", err)
+		return nil, err
 	}
-	outE, err := simE.Run()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6 elastic: %w", err)
-	}
-
-	// Unelastic Nephele-16KiB baseline: 175 testers, tuned to the peak.
-	baseOpts := apps.ScalePrimeTesterOptions(apps.PrimeTesterOptions{
-		Sources:      32,
-		Sinks:        32,
-		PrimeTesters: 175,
-		Schedule:     fig6Schedule(opts),
-		Mode:         sim.BatchFixedBuffer,
-		WorkerNodes:  130,
-		SlotsPerNode: 5,
-		Seed:         opts.Seed + 7,
-	}, opts.Scale)
-	cfgB, probesB, err := apps.BuildPrimeTester(baseOpts)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6 baseline: %w", err)
-	}
-	simB, err := sim.New(cfgB, probesB)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6 baseline: %w", err)
-	}
-	outB, err := simB.Run()
-	if err != nil {
-		return nil, fmt.Errorf("experiments: fig6 baseline: %w", err)
-	}
+	outE, outB := outs[0], outs[1]
 
 	res.ElasticRows = outE.Rows
 	res.BaselineRows = outB.Rows
@@ -282,37 +284,59 @@ func RunTaskHours(opts TaskHoursOptions) (*TaskHoursResult, error) {
 	}
 	res := &TaskHoursResult{Options: opts}
 	scale := float64(opts.Scale)
-	for _, bound := range opts.Bounds {
+
+	// Flatten the bounds×seeds grid into one index space and fan it
+	// across the worker pool; every run writes only its own slot, so the
+	// per-bound averages below see the same values in any schedule.
+	type runOut struct {
+		hours   float64
+		fulfill float64
+	}
+	grid := make([]runOut, len(opts.Bounds)*len(opts.Seeds))
+	err := forEachRun(len(grid), func(i int) error {
+		bound := opts.Bounds[i/len(opts.Seeds)]
+		seed := opts.Seeds[i%len(opts.Seeds)]
+		elasticOpts := apps.ScalePrimeTesterOptions(apps.PrimeTesterOptions{
+			Sources:         32,
+			Sinks:           32,
+			PrimeTesters:    64,
+			MinPT:           1,
+			MaxPT:           520,
+			Schedule:        fig6Schedule(opts.Fig6Options),
+			Mode:            sim.BatchAdaptive,
+			ConstraintBound: bound,
+			Elastic:         true,
+			WorkerNodes:     130,
+			SlotsPerNode:    5,
+			Seed:            seed,
+		}, opts.Scale)
+		cfg, probes, err := apps.BuildPrimeTester(elasticOpts)
+		if err != nil {
+			return fmt.Errorf("experiments: taskhours %v: %w", bound, err)
+		}
+		s, err := sim.New(cfg, probes)
+		if err != nil {
+			return fmt.Errorf("experiments: taskhours %v: %w", bound, err)
+		}
+		out, err := s.Run()
+		if err != nil {
+			return fmt.Errorf("experiments: taskhours %v: %w", bound, err)
+		}
+		grid[i] = runOut{
+			hours:   out.TaskHours * scale,
+			fulfill: out.Probes[apps.PrimeProbe].Fulfillment,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for bi := range opts.Bounds {
 		var hours, fulfill float64
-		for _, seed := range opts.Seeds {
-			elasticOpts := apps.ScalePrimeTesterOptions(apps.PrimeTesterOptions{
-				Sources:         32,
-				Sinks:           32,
-				PrimeTesters:    64,
-				MinPT:           1,
-				MaxPT:           520,
-				Schedule:        fig6Schedule(opts.Fig6Options),
-				Mode:            sim.BatchAdaptive,
-				ConstraintBound: bound,
-				Elastic:         true,
-				WorkerNodes:     130,
-				SlotsPerNode:    5,
-				Seed:            seed,
-			}, opts.Scale)
-			cfg, probes, err := apps.BuildPrimeTester(elasticOpts)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: taskhours %v: %w", bound, err)
-			}
-			s, err := sim.New(cfg, probes)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: taskhours %v: %w", bound, err)
-			}
-			out, err := s.Run()
-			if err != nil {
-				return nil, fmt.Errorf("experiments: taskhours %v: %w", bound, err)
-			}
-			hours += out.TaskHours * scale
-			fulfill += out.Probes[apps.PrimeProbe].Fulfillment
+		for si := range opts.Seeds {
+			o := grid[bi*len(opts.Seeds)+si]
+			hours += o.hours
+			fulfill += o.fulfill
 		}
 		n := float64(len(opts.Seeds))
 		res.TaskHours = append(res.TaskHours, hours/n)

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxWorkers bounds the worker pool used to fan independent simulation
+// runs (seeds, sweep points, elastic-vs-baseline pairs) across CPUs.
+// Each sim.Sim owns its RNG (seeded from its Config), so runs share no
+// mutable state and the fan-out cannot perturb per-seed determinism.
+// Set to 1 to force sequential execution (tests use this to verify that
+// parallel results are byte-identical to sequential ones).
+var MaxWorkers = runtime.GOMAXPROCS(0)
+
+// forEachRun executes fn(0..n-1) on up to MaxWorkers goroutines. Work is
+// handed out by an atomic counter and every invocation writes only its
+// own index-addressed slot, so results are assembled in index order and
+// are identical for any worker count. The returned error is the
+// lowest-indexed failure, again independent of scheduling.
+func forEachRun(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := MaxWorkers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			errs[i] = fn(i)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// withWorkers runs fn with MaxWorkers temporarily set to n.
+func withWorkers(n int, fn func()) {
+	old := MaxWorkers
+	MaxWorkers = n
+	defer func() { MaxWorkers = old }()
+	fn()
+}
+
+// TestForEachRunCoversAllIndices checks that every index runs exactly
+// once for worker counts below, at and above the task count.
+func TestForEachRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		var hits [9]int64
+		withWorkers(workers, func() {
+			if err := forEachRun(len(hits), func(i int) error {
+				atomic.AddInt64(&hits[i], 1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestForEachRunFirstErrorByIndex checks that the reported error is the
+// lowest-indexed one, independent of scheduling.
+func TestForEachRunFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	withWorkers(8, func() {
+		err := forEachRun(16, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 11:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Errorf("got %v, want the lowest-indexed error %v", err, errA)
+		}
+	})
+}
+
+// TestRunFig6ParallelDeterministic verifies the parallel-determinism
+// contract: RunFig6 with a fanned worker pool must produce results
+// byte-identical to a sequential run, because every simulation owns its
+// seeded RNG and writes only its own result slot.
+func TestRunFig6ParallelDeterministic(t *testing.T) {
+	opts := Fig6Options{Scale: 16, StepDuration: 5, IncrementSteps: 2, Seed: 3}
+	var seq, par *Fig6Result
+	withWorkers(1, func() {
+		var err error
+		seq, err = RunFig6(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(8, func() {
+		var err error
+		par, err = RunFig6(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatalf("parallel RunFig6 diverged from sequential run\nseq: %d bytes\npar: %d bytes", len(seqJSON), len(parJSON))
+	}
+}
+
+// TestRunTaskHoursParallelDeterministic does the same for the flattened
+// bounds×seeds grid of the constraint sweep.
+func TestRunTaskHoursParallelDeterministic(t *testing.T) {
+	opts := TaskHoursOptions{
+		Fig6Options: Fig6Options{Scale: 16, StepDuration: 5, IncrementSteps: 2, Seed: 1},
+		Bounds:      []time.Duration{20 * time.Millisecond, 50 * time.Millisecond},
+		Seeds:       []int64{1, 2},
+	}
+	var seq, par *TaskHoursResult
+	withWorkers(1, func() {
+		var err error
+		seq, err = RunTaskHours(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	withWorkers(8, func() {
+		var err error
+		par, err = RunTaskHours(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Fatalf("parallel RunTaskHours diverged from sequential run\nseq: %s\npar: %s", seqJSON, parJSON)
+	}
+}

@@ -145,6 +145,12 @@ func RunPredictionQuality(scale int, seed int64) (*PredictionQualityResult, erro
 	if len(res.Samples) == 0 {
 		return nil, fmt.Errorf("experiments: no scoreable predictions (no stable scaling actions)")
 	}
+	res.score()
+	return res, nil
+}
+
+// score fills the aggregate error statistics and checks from Samples.
+func (res *PredictionQualityResult) score() {
 	var relErrs []float64
 	within := 0
 	for _, sm := range res.Samples {
@@ -163,6 +169,7 @@ func RunPredictionQuality(scale int, seed int64) (*PredictionQualityResult, erro
 		res.WithinFactor2 = float64(within) / float64(len(relErrs))
 	}
 
+	res.Checks = nil
 	res.Checks.Add("predictions carry signal",
 		"model is 'a rough predictor' (Section IV-C2)",
 		fmt.Sprintf("median |rel err| %.2f over %d predictions", res.MedianAbsRelError, len(res.Samples)),
@@ -171,5 +178,32 @@ func RunPredictionQuality(scale int, seed int64) (*PredictionQualityResult, erro
 		"fit quality sufficient to rank scaling choices",
 		fmt.Sprintf("%.0f%% within 2x", res.WithinFactor2*100),
 		res.WithinFactor2 >= 0.4)
+}
+
+// RunPredictionQualitySweep runs RunPredictionQuality for every seed
+// (fanned across the worker pool) and scores the pooled samples. Samples
+// are concatenated in seed order, so the result is identical for any
+// MaxWorkers setting.
+func RunPredictionQualitySweep(scale int, seeds []int64) (*PredictionQualityResult, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	perSeed := make([]*PredictionQualityResult, len(seeds))
+	err := forEachRun(len(seeds), func(i int) error {
+		r, err := RunPredictionQuality(scale, seeds[i])
+		if err != nil {
+			return fmt.Errorf("experiments: prediction seed %d: %w", seeds[i], err)
+		}
+		perSeed[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &PredictionQualityResult{}
+	for _, r := range perSeed {
+		res.Samples = append(res.Samples, r.Samples...)
+	}
+	res.score()
 	return res, nil
 }

@@ -162,6 +162,13 @@ func (ps *ProbeSet) SetBound(name string, boundSeconds float64) {
 	ps.Probe(name).BoundSeconds = boundSeconds
 }
 
+// Len returns the number of probes in the set.
+func (ps *ProbeSet) Len() int {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return len(ps.probes)
+}
+
 // Names returns the probe names in sorted order.
 func (ps *ProbeSet) Names() []string {
 	ps.mu.Lock()

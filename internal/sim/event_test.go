@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEventQueueOrdering pushes random timestamps (with deliberate
+// duplicates) and checks that pops come out sorted by (at, seq): earliest
+// time first, FIFO within equal times. This is the total-order contract
+// that makes the 4-ary heap a drop-in replacement for any other heap
+// shape.
+func TestEventQueueOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var q eventQueue
+	const n = 5000
+	for i := 0; i < n; i++ {
+		// Coarse timestamps force many ties to exercise the seq
+		// tie-break.
+		at := float64(rng.Intn(64))
+		q.push(event{at: at, kind: evMeasure, n: int32(i)})
+		// Interleave pops so the heap sees mixed push/pop traffic.
+		if rng.Intn(4) == 0 {
+			if _, ok := q.pop(); !ok {
+				t.Fatal("pop from non-empty queue failed")
+			}
+		}
+	}
+	var prev event
+	first := true
+	popped := 0
+	for {
+		if at, ok := q.peekTime(); ok {
+			ev, _ := q.pop()
+			if ev.at != at {
+				t.Fatalf("peekTime %v != popped at %v", at, ev.at)
+			}
+			if !first {
+				if ev.at < prev.at {
+					t.Fatalf("pop out of time order: %v after %v", ev.at, prev.at)
+				}
+				if ev.at == prev.at && ev.seq < prev.seq {
+					t.Fatalf("FIFO violated at t=%v: seq %d after %d", ev.at, ev.seq, prev.seq)
+				}
+			}
+			prev, first = ev, false
+			popped++
+			continue
+		}
+		break
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+	if popped == 0 {
+		t.Fatal("queue drained nothing")
+	}
+}

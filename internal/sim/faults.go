@@ -81,14 +81,14 @@ func (p *FaultPlan) validate(c *Config) error {
 }
 
 // scheduleFaults pushes the plan's kills into the event queue (Run).
+// Events carry the plan index; dispatch re-reads the entry from
+// s.cfg.Faults.
 func (s *Sim) scheduleFaults(p *FaultPlan) {
-	for _, k := range p.TaskKills {
-		k := k
-		s.q.push(k.At, func() { s.injectTaskKill(k, p) })
+	for i := range p.TaskKills {
+		s.q.push(event{at: p.TaskKills[i].At, kind: evTaskKill, n: int32(i)})
 	}
-	for _, k := range p.NodeKills {
-		k := k
-		s.q.push(k.At, func() { s.injectNodeKill(k, p) })
+	for i := range p.NodeKills {
+		s.q.push(event{at: p.NodeKills[i].At, kind: evNodeKill, n: int32(i)})
 	}
 }
 
@@ -146,19 +146,24 @@ func (s *Sim) injectNodeKill(k NodeKill, p *FaultPlan) {
 
 // scheduleRespawn re-adds n tasks to v after delay.
 func (s *Sim) scheduleRespawn(v *simVertex, n int, delay float64) {
-	s.q.push(s.now+delay, func() {
-		s.accountUsage()
-		added := v.addTasks(n)
-		s.respawnedTasks += added
-		if s.cfg.Recorder != nil && added > 0 {
-			s.cfg.Recorder.RecordLifecycle(s.now, obs.KindTaskRestart, obs.Lifecycle{
-				Vertex:         v.jv.Name,
-				Reason:         "fault respawn",
-				Attempts:       added,
-				BackoffSeconds: delay,
-			})
-		}
-	})
+	i := s.allocOp()
+	s.ops[i] = evOp{v: v, count: int32(n)}
+	s.q.push(event{at: s.now + delay, kind: evRespawn, n: i})
+}
+
+// respawn executes one evRespawn: places n replacement tasks on v.
+func (s *Sim) respawn(v *simVertex, n int) {
+	s.accountUsage()
+	added := v.addTasks(n)
+	s.respawnedTasks += added
+	if s.cfg.Recorder != nil && added > 0 {
+		s.cfg.Recorder.RecordLifecycle(s.now, obs.KindTaskRestart, obs.Lifecycle{
+			Vertex:         v.jv.Name,
+			Reason:         "fault respawn",
+			Attempts:       added,
+			BackoffSeconds: s.cfg.Faults.RestartDelay,
+		})
+	}
 }
 
 // findTask locates a live (active or draining) task by id.
@@ -218,6 +223,7 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 		if len(ch.stalled) > 0 {
 			for _, b := range ch.stalled {
 				s.killedItems += int64(len(b))
+				s.recycleBatch(b)
 			}
 			ch.stalled = nil
 			ch.from.blockedOut--
@@ -234,11 +240,14 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 	for _, g := range t.gates {
 		if g.shared != nil {
 			s.killedItems += int64(len(g.shared.items))
+			s.recycleBatch(g.shared.items)
 			g.shared.items = nil
 			g.shared.bytes = 0
 		}
 		for _, buf := range g.perChan {
 			s.killedItems += int64(len(buf.items))
+			s.recycleBatch(buf.items)
+			buf.items = nil
 		}
 		g.perChan = nil
 		for _, ch := range g.channels {
@@ -246,6 +255,7 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 				for _, b := range ch.stalled {
 					s.killedItems += int64(len(b))
 					ch.to.stalledInBatches--
+					s.recycleBatch(b)
 				}
 				ch.stalled = nil
 			}
@@ -297,6 +307,8 @@ func (s *Sim) unrouteChannelKilled(ch *simChannel) {
 				g.rrInit = false // consumer set changed: re-draw offset
 				if buf, ok := g.perChan[ch]; ok {
 					s.killedItems += int64(len(buf.items))
+					s.recycleBatch(buf.items)
+					buf.items = nil
 					delete(g.perChan, ch)
 				}
 				return

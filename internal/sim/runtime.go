@@ -83,6 +83,8 @@ func (g *outGate) hasBacklog() bool {
 type simTask struct {
 	id  model.TaskID
 	vtx *simVertex
+	// slot is the task's index in Sim.taskSlots (see event.tslot).
+	slot int32
 
 	behavior Behavior
 	ctx      TaskContext
@@ -121,6 +123,16 @@ type simTask struct {
 	// rwPending holds consume times of sampled items awaiting the next
 	// write (read-write task latency).
 	rwPending []float64
+
+	// svcItem and svcTime hold the item currently in service and its
+	// service time; a task serves one item at a time, so the pending
+	// evServiceDone event carries only the task.
+	svcItem Item
+	svcTime float64
+
+	// timerInterval caches TimerBehavior.TimerInterval for evTimer
+	// rescheduling.
+	timerInterval float64
 
 	// curSpan is the trace span of the item currently being processed
 	// (or emitted, for sources); items emitted meanwhile inherit it.
@@ -240,19 +252,24 @@ func (s *Sim) appendToBuf(g *outGate, buf *gateBuf, ch *simChannel, it Item) {
 // armFlushTimer schedules a deadline flush check for a gate buffer.
 func (s *Sim) armFlushTimer(g *outGate, buf *gateBuf, ch *simChannel, at float64) {
 	buf.timerSet = true
-	gen := buf.gen
-	s.q.push(at, func() {
-		buf.timerSet = false
-		if buf.gen != gen || len(buf.items) == 0 || g.t.disposed {
-			return
-		}
-		due := buf.items[0].BufferTime + g.deadline
-		if s.now+1e-12 >= due {
-			s.flushBuf(g, buf, ch)
-			return
-		}
-		s.armFlushTimer(g, buf, ch, due)
-	})
+	i := s.allocOp()
+	s.ops[i] = evOp{g: g, buf: buf, ch: ch, gen: buf.gen}
+	s.q.push(event{at: at, kind: evFlushTimer, n: i})
+}
+
+// flushTimerFire runs one deadline flush check; gen detects buffers
+// flushed (or re-filled) since the timer was armed.
+func (s *Sim) flushTimerFire(g *outGate, buf *gateBuf, ch *simChannel, gen uint64) {
+	buf.timerSet = false
+	if buf.gen != gen || len(buf.items) == 0 || g.t.disposed {
+		return
+	}
+	due := buf.items[0].BufferTime + g.deadline
+	if s.now+1e-12 >= due {
+		s.flushBuf(g, buf, ch)
+		return
+	}
+	s.armFlushTimer(g, buf, ch, due)
 }
 
 // mix64 is a splitmix64 finalizer used for key partitioning.
@@ -278,7 +295,7 @@ func (s *Sim) flushBuf(g *outGate, buf *gateBuf, pinned *simChannel) {
 		return
 	}
 	batch := buf.items
-	buf.items = nil
+	buf.items = s.getBatch() // detach; refill from the free list
 	buf.bytes = 0
 	buf.gen++
 	buf.pending = false
@@ -297,8 +314,7 @@ func (s *Sim) flushBuf(g *outGate, buf *gateBuf, pinned *simChannel) {
 			if i == len(g.channels)-1 {
 				s.ship(ch, batch, bytes) // last consumer takes the original
 			} else {
-				cp := make([]Item, len(batch))
-				copy(cp, batch)
+				cp := append(s.getBatch(), batch...)
 				s.ship(ch, cp, bytes)
 			}
 		}
@@ -332,7 +348,9 @@ func (s *Sim) ship(ch *simChannel, batch []Item, bytes int) {
 		ch.established = true
 	}
 	ch.to.inflightIn++
-	s.q.push(s.now+transit, func() { s.deliver(ch, batch) })
+	i := s.allocOp()
+	s.ops[i] = evOp{ch: ch, batch: batch}
+	s.q.push(event{at: s.now + transit, kind: evDeliver, n: i})
 }
 
 // flushGate flushes everything buffered in a gate (drain support).
@@ -375,6 +393,7 @@ func (s *Sim) deliver(ch *simChannel, batch []Item) {
 		} else {
 			s.droppedItems += int64(len(batch))
 		}
+		s.recycleBatch(batch)
 		return
 	}
 	if s.cfg.QueueCapacityItems-ch.to.queueLen() < len(batch) {
@@ -398,6 +417,7 @@ func (s *Sim) acceptBatch(ch *simChannel, batch []Item) {
 		to.reporter.RecordArrival(s.now)
 		to.pushQueue(batch[i])
 	}
+	s.recycleBatch(batch) // items copied into the queue; reuse the array
 	s.maybeStart(to)
 }
 
@@ -456,11 +476,15 @@ func (s *Sim) maybeStart(t *simTask) {
 		}
 		return
 	}
-	it := t.popQueue()
+	// Park the item on the task before the ServiceTime interface call:
+	// passing a pointer to a stack local through the interface would
+	// force a per-item heap allocation.
+	t.svcItem = t.popQueue()
+	it := &t.svcItem
 	if it.src != nil && it.src.reporter != nil {
 		it.src.reporter.RecordTransfer(s.now-it.BufferTime, it.ShipTime-it.BufferTime)
 	}
-	st := t.behavior.ServiceTime(s.rng, &it) + t.pendingOverhead
+	st := t.behavior.ServiceTime(s.rng, it) + t.pendingOverhead
 	t.pendingOverhead = 0
 	if st < 0 {
 		st = 0
@@ -469,7 +493,8 @@ func (s *Sim) maybeStart(t *simTask) {
 	// back into maybeStart, which must not start a second concurrent
 	// service on this task.
 	t.busy = true
-	s.q.push(s.now+st, func() { s.completeService(t, it, st) })
+	t.svcTime = st
+	s.q.push(event{at: s.now + st, kind: evServiceDone, tslot: t.slot})
 	s.retryStalled(t)
 }
 
@@ -479,9 +504,12 @@ func (t *simTask) latencyModeRW() bool {
 	return t.vtx.jv.LatencyMode == model.LatencyReadWrite
 }
 
-// completeService finishes one item: records metrics, runs the behavior,
-// and starts the next item.
-func (s *Sim) completeService(t *simTask, it Item, st float64) {
+// serviceDone finishes the item in service on t: records metrics, runs
+// the behavior, and starts the next item.
+func (s *Sim) serviceDone(t *simTask) {
+	it := t.svcItem
+	st := t.svcTime
+	t.svcItem = Item{} // release Origins/span references
 	if t.disposed {
 		// The task was killed mid-service; the in-progress item dies
 		// with it.
@@ -490,7 +518,7 @@ func (s *Sim) completeService(t *simTask, it Item, st float64) {
 	}
 	t.busy = false
 	t.busyAccum += st
-	s.processed[t.vtx.jv.Name]++
+	t.vtx.processed++
 	t.reporter.RecordService(st)
 	if t.latencyModeRW() {
 		if it.Sampled && len(t.rwPending) < 64 {

@@ -40,15 +40,28 @@ type Sim struct {
 
 	probes *ProbeSet
 
+	// batchPool is the free list of batch slices (see pool.go).
+	batchPool [][]Item
+	// ops is the event-operand arena; opFree heads its free list (-1 =
+	// empty).
+	ops    []evOp
+	opFree int32
+	// taskSlots maps event tslot indices to tasks. Slots are append-only
+	// and never reused, so an event scheduled before a task's disposal
+	// still resolves to that (disposed) task — same semantics a pointer
+	// field would have, without putting a pointer in every heap element.
+	taskSlots []*simTask
+	// partialsScratch is reused across adjustment ticks.
+	partialsScratch []*qos.PartialSummary
+	// sourceCount sizes the per-row source-rate maps.
+	sourceCount int
+
 	// batching control state
 	batching  *qos.BatchingController
 	deadlines map[model.EdgeKey]float64
 
-	// counters
-	emitted             map[string]int64 // per source vertex
-	lastEmitted         map[string]int64
-	processed           map[string]int64 // per vertex: items completing service
-	lastProcessed       map[string]int64
+	// counters (per-vertex item counters live on simVertex: map hashing
+	// per processed item is measurable at simulator throughput)
 	droppedItems        int64
 	killedTasks         int
 	killedNodes         int
@@ -159,6 +172,7 @@ func New(cfg Config, probes *ProbeSet) (*Sim, error) {
 	}
 	s := &Sim{
 		cfg:           &cfg,
+		opFree:        -1,
 		rng:           rand.New(rand.NewSource(cfg.Seed)),
 		vertices:      make(map[string]*simVertex),
 		edgePatterns:  make(map[string][]model.WiringPattern),
@@ -168,10 +182,6 @@ func New(cfg Config, probes *ProbeSet) (*Sim, error) {
 		probes:        probes,
 		batching:      qos.NewBatchingController(cfg.Scaler.Strategy.Batching),
 		deadlines:     make(map[model.EdgeKey]float64),
-		emitted:       make(map[string]int64),
-		lastEmitted:   make(map[string]int64),
-		processed:     make(map[string]int64),
-		lastProcessed: make(map[string]int64),
 	}
 	for i := 0; i < cfg.ManagerCount; i++ {
 		mcfg := qos.DefaultManagerConfig()
@@ -216,6 +226,9 @@ func (s *Sim) bootstrap() error {
 			s.edgePos[ek] = i
 		}
 		s.edgePatterns[jv.Name] = patterns
+		if s.cfg.Vertices[jv.Name].Source != nil {
+			s.sourceCount++
+		}
 		v := &simVertex{
 			sim:      s,
 			jv:       jv,
@@ -264,7 +277,7 @@ func (s *Sim) startTask(t *simTask) {
 		if rate > 0 {
 			offset = s.rng.Float64() * float64(len(t.vtx.tasks)+1) / rate
 		}
-		s.q.push(s.now+offset, func() { s.sourceEmit(t) })
+		s.q.push(event{at: s.now + offset, kind: evSourceEmit, tslot: t.slot})
 		return
 	}
 	if tb, ok := t.behavior.(TimerBehavior); ok {
@@ -273,18 +286,24 @@ func (s *Sim) startTask(t *simTask) {
 			s.fail("timer behavior of %s has non-positive interval", t.id)
 			return
 		}
-		var fire func()
-		fire = func() {
-			if t.disposed || t.draining {
-				return
-			}
-			tb.OnTimer(&t.ctx)
-			// ±5% dither keeps window emissions from aliasing with
-			// batched arrivals and other periodic activity.
-			s.q.push(s.now+interval*(0.95+0.1*s.rng.Float64()), fire)
-		}
-		s.q.push(s.now+s.rng.Float64()*interval, fire)
+		t.timerInterval = interval
+		s.q.push(event{at: s.now + s.rng.Float64()*interval, kind: evTimer, tslot: t.slot})
 	}
+}
+
+// timerFire runs one TimerBehavior tick of t and reschedules it.
+func (s *Sim) timerFire(t *simTask) {
+	if t.disposed || t.draining {
+		return
+	}
+	tb, ok := t.behavior.(TimerBehavior)
+	if !ok {
+		return
+	}
+	tb.OnTimer(&t.ctx)
+	// ±5% dither keeps window emissions from aliasing with batched
+	// arrivals and other periodic activity.
+	s.q.push(event{at: s.now + t.timerInterval*(0.95+0.1*s.rng.Float64()), kind: evTimer, tslot: t.slot})
 }
 
 // Sample reports whether the next source emission should be tagged for
@@ -312,7 +331,7 @@ func (s *Sim) sourceEmit(t *simTask) {
 	rate := src.Schedule.Rate(s.now)
 	if rate <= 0 {
 		if s.now < src.Schedule.Duration() {
-			s.q.push(s.now+0.5, func() { s.sourceEmit(t) })
+			s.q.push(event{at: s.now + 0.5, kind: evSourceEmit, tslot: t.slot})
 		} else {
 			t.srcStopped = true
 		}
@@ -331,7 +350,7 @@ func (s *Sim) sourceEmit(t *simTask) {
 	t.curSpan = s.cfg.Tracer.StartSpan(s.now)
 	src.Emit(&t.ctx, s.now)
 	t.curSpan = nil
-	s.emitted[t.vtx.jv.Name]++
+	t.vtx.emitted++
 
 	n := len(t.vtx.tasks)
 	if n == 0 {
@@ -352,7 +371,7 @@ func (s *Sim) sourceEmit(t *simTask) {
 		// cluster arrivals.
 		next = cost * (0.95 + 0.1*s.rng.Float64())
 	}
-	s.q.push(s.now+next, func() { s.sourceEmit(t) })
+	s.q.push(event{at: s.now + next, kind: evSourceEmit, tslot: t.slot})
 }
 
 // fail aborts the run with an error.
@@ -412,10 +431,14 @@ func (s *Sim) adjustmentTick() {
 		s.probes.Probe(name).AdjSnapshot()
 	}
 	par := s.parallelismMap()
-	partials := make([]*qos.PartialSummary, 0, len(s.managers))
+	if s.partialsScratch == nil {
+		s.partialsScratch = make([]*qos.PartialSummary, 0, len(s.managers))
+	}
+	partials := s.partialsScratch[:0]
 	for _, m := range s.managers {
 		partials = append(partials, m.PartialSummary())
 	}
+	s.partialsScratch = partials[:0]
 	global := qos.MergePartials(par, partials...)
 
 	// Adaptive output batching: distribute constraint slack as flush
@@ -547,12 +570,16 @@ func (s *Sim) recordTick() {
 	if dt <= 0 {
 		return
 	}
+	// Rows are retained in the result, so their maps must be freshly
+	// owned — but they are preallocated at exactly the needed size
+	// (vertex/source/probe counts are known) instead of growing from
+	// empty.
 	row := Row{
 		Time:        s.now,
-		Probes:      make(map[string]ProbeSample),
-		Attempted:   make(map[string]float64),
-		Effective:   make(map[string]float64),
-		Processed:   make(map[string]float64),
+		Probes:      make(map[string]ProbeSample, s.probes.Len()),
+		Attempted:   make(map[string]float64, s.sourceCount),
+		Effective:   make(map[string]float64, s.sourceCount),
+		Processed:   make(map[string]float64, len(s.vertexOrder)),
 		Parallelism: s.parallelismMap(),
 		TotalTasks:  s.runningTasks(),
 		LeasedNodes: s.rm.Leased(),
@@ -563,14 +590,14 @@ func (s *Sim) recordTick() {
 	}
 	for _, name := range s.vertexOrder {
 		v := s.vertices[name]
-		row.Processed[name] = float64(s.processed[name]-s.lastProcessed[name]) / dt
-		s.lastProcessed[name] = s.processed[name]
+		row.Processed[name] = float64(v.processed-v.lastProcessed) / dt
+		v.lastProcessed = v.processed
 		if v.cfg.Source == nil {
 			continue
 		}
 		row.Attempted[name] = integrateRate(v.cfg.Source.Schedule.Rate, s.lastRowTime, s.now) / dt
-		row.Effective[name] = float64(s.emitted[name]-s.lastEmitted[name]) / dt
-		s.lastEmitted[name] = s.emitted[name]
+		row.Effective[name] = float64(v.emitted-v.lastEmitted) / dt
+		v.lastEmitted = v.emitted
 	}
 	// CPU utilization: busy seconds per task second over the interval.
 	busySum := s.retiredBusy
@@ -611,29 +638,10 @@ func integrateRate(rate func(float64) float64, t0, t1 float64) float64 {
 // the result.
 func (s *Sim) Run() (*Result, error) {
 	dur := s.cfg.Duration
-	// Recurring control-plane events.
-	var measure, adjust, record func()
-	measure = func() {
-		s.measurementTick()
-		if t := s.now + s.cfg.MeasurementInterval; t <= dur {
-			s.q.push(t, measure)
-		}
-	}
-	adjust = func() {
-		s.adjustmentTick()
-		if t := s.now + s.cfg.AdjustmentInterval; t <= dur {
-			s.q.push(t, adjust)
-		}
-	}
-	record = func() {
-		s.recordTick()
-		if t := s.now + s.cfg.RecordInterval; t <= dur {
-			s.q.push(t, record)
-		}
-	}
-	s.q.push(s.cfg.MeasurementInterval, measure)
-	s.q.push(s.cfg.AdjustmentInterval, adjust)
-	s.q.push(s.cfg.RecordInterval, record)
+	// Recurring control-plane ticks; each reschedules itself in dispatch.
+	s.q.push(event{at: s.cfg.MeasurementInterval, kind: evMeasure})
+	s.q.push(event{at: s.cfg.AdjustmentInterval, kind: evAdjust})
+	s.q.push(event{at: s.cfg.RecordInterval, kind: evRecord})
 	if s.cfg.Faults != nil {
 		s.scheduleFaults(s.cfg.Faults)
 	}
@@ -647,15 +655,16 @@ func (s *Sim) Run() (*Result, error) {
 			break
 		}
 		s.now = ev.at
-		ev.fn()
+		s.dispatch(&ev)
 		if s.err != nil {
 			return nil, s.err
 		}
-		// Track peak parallelism at coarse granularity.
+		// Track peak parallelism at coarse granularity, without building
+		// a throwaway map on the hot loop.
 		if s.now-lastPeakCheck >= 1 {
 			lastPeakCheck = s.now
-			for name, p := range s.parallelismMap() {
-				if p > peak[name] {
+			for _, name := range s.vertexOrder {
+				if p := s.vertices[name].parallelism(); p > peak[name] {
 					peak[name] = p
 				}
 			}
@@ -664,12 +673,18 @@ func (s *Sim) Run() (*Result, error) {
 	s.now = dur
 	s.accountUsage()
 
+	emitted := make(map[string]int64, s.sourceCount)
+	for _, name := range s.vertexOrder {
+		if v := s.vertices[name]; v.cfg.Source != nil {
+			emitted[name] = v.emitted
+		}
+	}
 	res := &Result{
 		Rows:                s.rows,
 		Probes:              make(map[string]ProbeSummary),
 		TaskHours:           s.meter.TaskHours(),
 		NodeHours:           s.meter.NodeHours(),
-		Emitted:             s.emitted,
+		Emitted:             emitted,
 		FinalParallelism:    s.parallelismMap(),
 		PeakParallelism:     peak,
 		ScaleUps:            s.scaleUps,

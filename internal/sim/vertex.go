@@ -26,6 +26,15 @@ type simVertex struct {
 	// outEdges / inEdges cache the vertex's edge order.
 	outEdges []model.EdgeKey
 	inEdges  []model.EdgeKey
+
+	// emitted (sources) and processed count items across all tasks of
+	// the vertex; the last* values mark the previous record interval.
+	// Kept here — not in a per-name map — so the per-item increments in
+	// sourceEmit/serviceDone cost a field bump, not a map hash.
+	emitted       int64
+	lastEmitted   int64
+	processed     int64
+	lastProcessed int64
 }
 
 // parallelism returns the number of active (routed-to) tasks.
@@ -45,6 +54,8 @@ func (v *simVertex) newTask() (*simTask, error) {
 		mgr:      s.nextManager(),
 	}
 	t.ctx = TaskContext{s: s, t: t}
+	t.slot = int32(len(s.taskSlots))
+	s.taskSlots = append(s.taskSlots, t)
 	if v.cfg.NewBehavior != nil {
 		t.behavior = v.cfg.NewBehavior(id.Index)
 	}
