@@ -385,13 +385,23 @@ func BenchmarkSimulatorEvents(b *testing.B) {
 }
 
 // BenchmarkSimulatorEventsObsDisabled runs the same workload with a
-// disabled tracer (sample rate 0) and an attached recorder. Compare
-// against BenchmarkSimulatorEvents: the observability hooks must not
-// cost measurable throughput when sampling is off.
+// disabled tracer (sample rate 0), an attached recorder and a nil
+// telemetry plane. Compare against BenchmarkSimulatorEvents: the
+// observability hooks must not cost measurable throughput when off.
 func BenchmarkSimulatorEventsObsDisabled(b *testing.B) {
 	benchSimulatorEvents(b, func(cfg *sim.Config) {
 		cfg.Tracer = obs.NewTracer(0)
 		cfg.Recorder = obs.NewRecorder(0)
+		cfg.Telemetry = nil
+	})
+}
+
+// BenchmarkSimulatorEventsTelemetry runs the workload with an enabled
+// telemetry plane (time-series store + residual monitor) to expose the
+// cost of live scraping relative to BenchmarkSimulatorEvents.
+func BenchmarkSimulatorEventsTelemetry(b *testing.B) {
+	benchSimulatorEvents(b, func(cfg *sim.Config) {
+		cfg.Telemetry = obs.NewTelemetry(0)
 	})
 }
 

@@ -28,23 +28,29 @@ import (
 	"nephelix/internal/sim"
 )
 
-// recorder is the process-wide flight recorder: the faults experiment
-// records its scaling decisions here, and -obs.addr exposes them live.
-var recorder = obs.NewRecorder(0)
+// recorder and telemetry are the process-wide observability plane: the
+// faults experiment records its scaling decisions and time series here,
+// and -obs.addr exposes them live.
+var (
+	recorder  = obs.NewRecorder(0)
+	telemetry = obs.NewTelemetry(0)
+)
 
 func main() {
 	out := flag.String("out", "results", "directory for CSV output")
 	paper := flag.Bool("paper", false, "run at full paper scale (slow)")
-	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /debug/pprof, /scaler/decisions) on this address")
+	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /dash, /debug/pprof, /scaler/decisions) on this address")
+	obsLinger := flag.Duration("obs.linger", 0, "keep the introspection server alive this long after the experiments finish (for scraping a completed run)")
 	flag.Parse()
 
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, obs.ServerConfig{Recorder: recorder})
+		srv, err := obs.Serve(*obsAddr, obs.ServerConfig{Recorder: recorder, Telemetry: telemetry})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
 		defer srv.Close()
+		fmt.Printf("introspection on http://%s\n", *obsAddr)
 	}
 	which := "all"
 	if flag.NArg() > 0 {
@@ -53,6 +59,10 @@ func main() {
 	if err := run(*out, *paper, which); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *obsAddr != "" && *obsLinger > 0 {
+		fmt.Printf("lingering %s for scrapes of http://%s\n", *obsLinger, *obsAddr)
+		time.Sleep(*obsLinger)
 	}
 }
 
@@ -232,6 +242,7 @@ func runFaults(outDir string, paper bool) (int, error) {
 		opts = experiments.FaultsPaper()
 	}
 	opts.Recorder = recorder
+	opts.Telemetry = telemetry
 	start := time.Now()
 	res, err := experiments.RunFaults(opts)
 	if err != nil {
@@ -251,6 +262,17 @@ func runFaults(outDir string, paper bool) (int, error) {
 		return n, err
 	}
 	fmt.Printf("  wrote %s (%d decision events)\n", path, len(recorder.Decisions()))
+
+	tsPath := filepath.Join(outDir, "faults_timeseries.json")
+	tf, err := os.Create(tsPath)
+	if err != nil {
+		return n, err
+	}
+	defer tf.Close()
+	if err := telemetry.WriteJSON(tf); err != nil {
+		return n, err
+	}
+	fmt.Printf("  wrote %s (%d series)\n", tsPath, telemetry.Store().Len())
 	return n, nil
 }
 

@@ -27,17 +27,18 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a recorded JSONL tweet trace (see cmd/tracegen)")
 	speedup := flag.Float64("speedup", 1, "replay speed multiplier for -trace")
 	seed := flag.Int64("seed", 1, "random seed")
-	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /debug/pprof, /scaler/decisions) on this address")
+	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /dash, /debug/pprof, /scaler/decisions) on this address")
 	decisionsPath := flag.String("decisions", "", "write the scaler's decision audit trail to this JSONL file")
+	timeseriesPath := flag.String("timeseries", "", "write the telemetry time series and residual stats to this JSON file")
 	flag.Parse()
 
-	if err := run(*scale, *duration, *csvPath, *tracePath, *speedup, *seed, *obsAddr, *decisionsPath); err != nil {
+	if err := run(*scale, *duration, *csvPath, *tracePath, *speedup, *seed, *obsAddr, *decisionsPath, *timeseriesPath); err != nil {
 		fmt.Fprintln(os.Stderr, "twittersentiment:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale int, duration float64, csvPath, tracePath string, speedup float64, seed int64, obsAddr, decisionsPath string) error {
+func run(scale int, duration float64, csvPath, tracePath string, speedup float64, seed int64, obsAddr, decisionsPath, timeseriesPath string) error {
 	opts := apps.DefaultTwitterSentimentOptions()
 	opts.Seed = seed
 	if tracePath != "" {
@@ -91,9 +92,11 @@ func run(scale int, duration float64, csvPath, tracePath string, speedup float64
 		cfg.Duration = duration
 	}
 	recorder := obs.NewRecorder(0)
+	telemetry := obs.NewTelemetry(0)
 	cfg.Recorder = recorder
+	cfg.Telemetry = telemetry
 	if obsAddr != "" {
-		srv, err := obs.Serve(obsAddr, obs.ServerConfig{Recorder: recorder})
+		srv, err := obs.Serve(obsAddr, obs.ServerConfig{Recorder: recorder, Telemetry: telemetry})
 		if err != nil {
 			return err
 		}
@@ -154,6 +157,24 @@ func run(scale int, duration float64, csvPath, tracePath string, speedup float64
 			return err
 		}
 		fmt.Printf("wrote %s (%d decision events)\n", decisionsPath, len(recorder.Decisions()))
+	}
+	if timeseriesPath != "" {
+		f, err := os.Create(timeseriesPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := telemetry.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d series)\n", timeseriesPath, telemetry.Store().Len())
+	}
+	if drift := telemetry.Residuals().DriftFlags(); len(drift) > 0 {
+		fmt.Printf("model drift detected in %d constraint/vertex cells:\n", len(drift))
+		for _, d := range drift {
+			fmt.Printf("  %s/%s: %s (mean |rel err| %.2f, sign bias %+.2f over %d samples)\n",
+				d.Constraint, d.Vertex, d.Reason, d.MeanAbsRelErr, d.SignBias, d.Samples)
+		}
 	}
 	return nil
 }

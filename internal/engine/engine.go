@@ -69,6 +69,11 @@ type Config struct {
 	// their end-to-end latency per hop. Nil disables tracing at
 	// near-zero cost.
 	Tracer *obs.Tracer
+	// Telemetry, when set, is scraped every adjustment interval (QoS
+	// summary, scaler decision, Go runtime) and scores the Kingman
+	// queue-wait predictions against the next interval's measurements.
+	// Nil disables telemetry at zero cost.
+	Telemetry *obs.Telemetry
 }
 
 // withDefaults fills zero values.
@@ -769,16 +774,22 @@ func (ex *execution) adjustTick() {
 		ex.applyDeadlines(deadlines)
 	}
 
-	if ex.scaler == nil {
+	var decision *core.Decision
+	if ex.scaler != nil {
+		ex.adjustRounds++
+		if d, err := ex.scaler.Decide(summary, par); err == nil {
+			decision = d
+		}
+	}
+	// Telemetry scrapes even without an elastic scaler (decision nil),
+	// and before recording so the audit event carries the drift flags.
+	drift := ex.cfg.Telemetry.ObserveInterval(time.Since(ex.start).Seconds(), summary, decision, par)
+	if decision == nil {
 		return
 	}
-	ex.adjustRounds++
-	decision, err := ex.scaler.Decide(summary, par)
-	if err != nil || decision == nil {
-		return
-	}
-	ex.cfg.Recorder.RecordDecision(time.Since(ex.start).Seconds(),
-		obs.NewScalingDecision(ex.adjustRounds, decision, par))
+	sd := obs.NewScalingDecision(ex.adjustRounds, decision, par)
+	sd.Drift = drift
+	ex.cfg.Recorder.RecordDecision(time.Since(ex.start).Seconds(), sd)
 	for _, a := range decision.Actions {
 		if d := a.Delta(); d > 0 {
 			ex.scaleUp(a.Vertex, d)

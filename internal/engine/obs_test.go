@@ -150,3 +150,71 @@ func TestObsEngineDecisionAudit(t *testing.T) {
 		t.Errorf("drop_counters events: got %d, want 1", len(byKind[obs.KindDropCounters]))
 	}
 }
+
+// TestObsEngineTelemetry: the live engine must feed the telemetry plane
+// every adjustment interval — QoS gauges, interval counters and Go
+// runtime stats — and feed the e2e histogram from finished trace spans.
+// The /timeseries handler must then serve the scraped store.
+func TestObsEngineTelemetry(t *testing.T) {
+	g := buildChain(t, 1, 4, model.PatternRoundRobin)
+	var received atomic.Int64
+	tel := obs.NewTelemetry(0)
+	tr := obs.NewTracer(1)
+
+	spec := NewJobSpec(g).
+		SetSource("src", SourceSpec{
+			Schedule: &workload.ConstantSchedule{RatePerSecond: 300, Length: 2.5},
+			Emit: func(ctx *Context) {
+				ctx.Emit(0, Record{EmitTime: time.Now(), Sampled: ctx.Sample()})
+			},
+		}).
+		SetUDF("work", func(int) UDF { return &forwarder{} }).
+		SetUDF("sink", func(int) UDF { return &countingSink{count: &received} })
+
+	exec, err := New(Config{
+		Seed:                23,
+		MeasurementInterval: 100 * time.Millisecond,
+		AdjustmentInterval:  400 * time.Millisecond,
+		Telemetry:           tel,
+		Tracer:              tr,
+	}).Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, exec, 30*time.Second)
+
+	if received.Load() == 0 {
+		t.Fatal("no records delivered")
+	}
+	snap := tel.Snapshot("", 0, 0)
+	byName := make(map[string]int)
+	for _, s := range snap.Series {
+		byName[s.Name]++
+	}
+	// Telemetry scrapes even without an elastic scaler: the QoS plane and
+	// interval counter must be populated after a multi-interval run.
+	for _, want := range []string{
+		"nephelix_adjust_intervals_total",
+		"nephelix_vertex_parallelism",
+		"nephelix_vertex_utilization",
+		"nephelix_edge_queue_wait_seconds",
+		"nephelix_go_heap_alloc_bytes",
+		"nephelix_e2e_latency_seconds",
+	} {
+		if byName[want] == 0 {
+			t.Errorf("series %s missing from engine telemetry", want)
+		}
+	}
+	for _, s := range snap.Series {
+		switch s.Name {
+		case "nephelix_adjust_intervals_total":
+			if s.Total < 2 {
+				t.Errorf("adjust intervals counted %v, want >= 2", s.Total)
+			}
+		case "nephelix_e2e_latency_seconds":
+			if s.Count == 0 || s.Sum <= 0 {
+				t.Errorf("e2e histogram: count %d sum %v, want observations from finished spans", s.Count, s.Sum)
+			}
+		}
+	}
+}

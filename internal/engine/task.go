@@ -204,7 +204,9 @@ func (t *task) handleBatch(b batch) {
 			wait := start.Sub(b.shipped).Seconds()
 			rec.span.Hop(t.id.Vertex, chID.Edge.String(), batchDelay, 0, wait, service.Seconds())
 			if len(t.gates) == 0 {
-				rec.span.Finish(nowSeconds(time.Now()))
+				end := nowSeconds(time.Now())
+				rec.span.Finish(end)
+				t.ex.cfg.Telemetry.ObserveE2E(end, end-rec.span.Start())
 			}
 		}
 		t.processed.Add(1)

@@ -35,6 +35,9 @@ type FaultsOptions struct {
 	Recorder *obs.Recorder
 	// Tracer, when set, head-samples record traces through the run.
 	Tracer *obs.Tracer
+	// Telemetry, when set, receives the run's time series (QoS scrape,
+	// scaler counters, e2e histogram) and residual-monitor statistics.
+	Telemetry *obs.Telemetry
 }
 
 // FaultsQuick returns the laptop-scale configuration.
@@ -126,6 +129,7 @@ func RunFaults(opts FaultsOptions) (*FaultsResult, error) {
 	}
 	cfg.Recorder = opts.Recorder
 	cfg.Tracer = opts.Tracer
+	cfg.Telemetry = opts.Telemetry
 
 	// Track per-adjustment-interval fulfillment around the kill via the
 	// probe's fulfillment counter deltas.

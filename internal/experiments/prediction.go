@@ -9,6 +9,7 @@ import (
 	"nephelix/internal/apps"
 	"nephelix/internal/core"
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/sim"
 	"nephelix/internal/workload"
 )
@@ -40,7 +41,16 @@ type PredictionQualityResult struct {
 	// WithinFactor2 is the fraction of predictions within 2× of the
 	// measurement (both directions).
 	WithinFactor2 float64
-	Checks        CheckList
+	// Residuals are the telemetry residual monitor's per-(constraint,
+	// vertex) statistics — the online counterpart of Samples, scored at
+	// a one-interval horizon and merged across seeds in the sweep.
+	Residuals []obs.ResidualStat
+	// Drift lists the cells the monitor currently flags as drifting.
+	Drift  []obs.DriftFlag
+	Checks CheckList
+
+	// monitor backs Residuals/Drift; the sweep merges per-seed monitors.
+	monitor *obs.ResidualMonitor
 }
 
 // abs returns |x|.
@@ -134,6 +144,12 @@ func RunPredictionQuality(scale int, seed int64) (*PredictionQualityResult, erro
 		}
 	}
 
+	// The telemetry residual monitor scores the same predictions online
+	// at a one-interval horizon; its per-vertex aggregates land in
+	// res.Residuals for drift interpretation.
+	tel := obs.NewTelemetry(0)
+	cfg.Telemetry = tel
+
 	s, err := sim.New(cfg, probes)
 	if err != nil {
 		return nil, err
@@ -145,6 +161,9 @@ func RunPredictionQuality(scale int, seed int64) (*PredictionQualityResult, erro
 	if len(res.Samples) == 0 {
 		return nil, fmt.Errorf("experiments: no scoreable predictions (no stable scaling actions)")
 	}
+	res.monitor = tel.Residuals()
+	res.Residuals = res.monitor.Snapshot()
+	res.Drift = res.monitor.DriftFlags()
 	res.score()
 	return res, nil
 }
@@ -178,6 +197,16 @@ func (res *PredictionQualityResult) score() {
 		"fit quality sufficient to rank scaling choices",
 		fmt.Sprintf("%.0f%% within 2x", res.WithinFactor2*100),
 		res.WithinFactor2 >= 0.4)
+	if len(res.Residuals) > 0 {
+		var scored int64
+		for _, rs := range res.Residuals {
+			scored += rs.Samples
+		}
+		res.Checks.Add("residual monitor scored predictions",
+			"online W(p*) vs next-interval measured wait pairs accumulated",
+			fmt.Sprintf("%d pairs over %d cells, %d drifting", scored, len(res.Residuals), len(res.Drift)),
+			scored > 0)
+	}
 }
 
 // RunPredictionQualitySweep runs RunPredictionQuality for every seed
@@ -200,10 +229,16 @@ func RunPredictionQualitySweep(scale int, seeds []int64) (*PredictionQualityResu
 	if err != nil {
 		return nil, err
 	}
-	res := &PredictionQualityResult{}
+	res := &PredictionQualityResult{monitor: obs.NewResidualMonitor(obs.ResidualConfig{})}
 	for _, r := range perSeed {
 		res.Samples = append(res.Samples, r.Samples...)
+		// Merge in seed order: the Welford merge result is order-
+		// dependent, so this keeps the pooled statistics identical for
+		// any MaxWorkers setting.
+		res.monitor.Merge(r.monitor)
 	}
+	res.Residuals = res.monitor.Snapshot()
+	res.Drift = res.monitor.DriftFlags()
 	res.score()
 	return res, nil
 }

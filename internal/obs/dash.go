@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// The /dash endpoint is a self-contained live dashboard: a single HTML
+// page (no external assets, stdlib only) that subscribes to /dash/sse
+// and redraws canvas line charts from each snapshot. The SSE stream
+// sends the full TimeseriesSnapshot every interval, so the client is
+// stateless and reconnects cleanly.
+
+// serveDashPage serves the embedded dashboard page.
+func serveDashPage(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashHTML)
+}
+
+// serveDashSSE streams telemetry snapshots as server-sent events.
+// ?interval_ms=N (>= 100, default 1000) sets the push period. A slow or
+// stalled consumer blocks only this handler's goroutine: snapshotting
+// holds the store's per-series locks briefly, and the blocking write
+// happens after the locks are released, so recording never stalls.
+func serveDashSSE(w http.ResponseWriter, r *http.Request, tel *Telemetry) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	interval := time.Second
+	if q := r.URL.Query().Get("interval_ms"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v >= 100 {
+			interval = time.Duration(v) * time.Millisecond
+		}
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	fmt.Fprint(w, "retry: 2000\n\n")
+
+	send := func() bool {
+		data, err := json.Marshal(tel.Snapshot("", 0, 240))
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	if !send() {
+		return
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			if !send() {
+				return
+			}
+		}
+	}
+}
+
+const dashHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>nephelix telemetry</title>
+<style>
+  :root { color-scheme: dark; }
+  body { margin: 0; padding: 16px; background: #14171c; color: #d8dde6;
+         font: 13px/1.4 system-ui, sans-serif; }
+  h1 { font-size: 16px; margin: 0 0 4px; }
+  #status { color: #8a93a3; margin-bottom: 12px; }
+  #status.live::before { content: "● "; color: #4cc38a; }
+  #status.down::before { content: "● "; color: #e5484d; }
+  #drift { display: none; margin: 0 0 12px; padding: 8px 12px;
+           background: #3a1d1f; border: 1px solid #e5484d; border-radius: 6px; }
+  #charts { display: grid; grid-template-columns: repeat(auto-fill, minmax(340px, 1fr));
+            gap: 12px; }
+  .card { background: #1b1f26; border: 1px solid #2a2f3a; border-radius: 8px;
+          padding: 10px 12px; }
+  .card h2 { font-size: 12px; font-weight: 600; margin: 0 0 6px; color: #aeb6c4;
+             overflow-wrap: anywhere; }
+  .card canvas { width: 100%; height: 120px; display: block; }
+  .legend { margin-top: 4px; color: #8a93a3; font-size: 11px; }
+  .legend b { font-weight: 600; }
+  table { border-collapse: collapse; margin-top: 16px; width: 100%; }
+  th, td { text-align: right; padding: 4px 10px; border-bottom: 1px solid #2a2f3a; }
+  th { color: #8a93a3; font-weight: 600; }
+  th:first-child, td:first-child, th:nth-child(2), td:nth-child(2) { text-align: left; }
+  .drifting { color: #e5484d; font-weight: 600; }
+  .ok { color: #4cc38a; }
+</style>
+</head>
+<body>
+<h1>nephelix telemetry</h1>
+<div id="status">connecting…</div>
+<div id="drift"></div>
+<div id="charts"></div>
+<h1 style="margin-top:20px">prediction residuals</h1>
+<table id="residuals">
+  <thead><tr><th>constraint</th><th>vertex</th><th>samples</th>
+    <th>residual mean (ms)</th><th>stddev (ms)</th><th>mean |rel err|</th>
+    <th>sign bias</th><th>drift</th></tr></thead>
+  <tbody></tbody>
+</table>
+<script>
+"use strict";
+const palette = ["#4c9aff","#4cc38a","#f5a623","#e5484d","#b388ff",
+                 "#26c6da","#ff8a65","#9ccc65","#f06292","#a1887f"];
+const charts = document.getElementById("charts");
+const cards = new Map(); // series name -> {card, canvas, legend}
+
+function card(name) {
+  let c = cards.get(name);
+  if (c) return c;
+  const div = document.createElement("div");
+  div.className = "card";
+  const h = document.createElement("h2");
+  h.textContent = name;
+  const canvas = document.createElement("canvas");
+  const legend = document.createElement("div");
+  legend.className = "legend";
+  div.append(h, canvas, legend);
+  charts.appendChild(div);
+  c = {card: div, canvas, legend};
+  cards.set(name, c);
+  return c;
+}
+
+function labelText(labels) {
+  if (!labels) return "";
+  return Object.keys(labels).sort().map(k => k + "=" + labels[k]).join(",");
+}
+
+function fmt(v) {
+  if (!isFinite(v)) return String(v);
+  const a = Math.abs(v);
+  if (a !== 0 && (a < 0.001 || a >= 100000)) return v.toExponential(2);
+  return +v.toFixed(4) + "";
+}
+
+function drawGroup(name, group) {
+  const {canvas, legend} = card(name);
+  const dpr = window.devicePixelRatio || 1;
+  const w = canvas.clientWidth || 320, h = 120;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  const ctx = canvas.getContext("2d");
+  ctx.scale(dpr, dpr);
+  ctx.clearRect(0, 0, w, h);
+
+  let tMin = Infinity, tMax = -Infinity, vMin = Infinity, vMax = -Infinity;
+  for (const s of group) for (const p of s.points || []) {
+    tMin = Math.min(tMin, p.t); tMax = Math.max(tMax, p.t);
+    vMin = Math.min(vMin, p.v); vMax = Math.max(vMax, p.v);
+  }
+  if (!isFinite(tMin)) { legend.textContent = "no data"; return; }
+  if (tMax === tMin) tMax = tMin + 1;
+  if (vMax === vMin) { vMax += 1; vMin -= vMin === 0 ? 0 : 1; }
+  const pad = 4;
+  const x = t => pad + (t - tMin) / (tMax - tMin) * (w - 2 * pad);
+  const y = v => h - pad - (v - vMin) / (vMax - vMin) * (h - 2 * pad);
+
+  ctx.strokeStyle = "#2a2f3a";
+  ctx.beginPath(); ctx.moveTo(pad, y(vMin)); ctx.lineTo(w - pad, y(vMin)); ctx.stroke();
+
+  const entries = [];
+  group.forEach((s, i) => {
+    const color = palette[i % palette.length];
+    const pts = s.points || [];
+    ctx.strokeStyle = color; ctx.fillStyle = color; ctx.lineWidth = 1.5;
+    if (s.kind === "histogram") {
+      for (const p of pts) { ctx.beginPath(); ctx.arc(x(p.t), y(p.v), 1.5, 0, 7); ctx.fill(); }
+    } else {
+      ctx.beginPath();
+      pts.forEach((p, j) => j ? ctx.lineTo(x(p.t), y(p.v)) : ctx.moveTo(x(p.t), y(p.v)));
+      ctx.stroke();
+    }
+    const last = pts.length ? pts[pts.length - 1].v : NaN;
+    const lt = labelText(s.labels);
+    entries.push('<span style="color:' + color + '">■</span> ' +
+      (lt ? lt + ": " : "") + "<b>" + fmt(last) + "</b>");
+  });
+  legend.innerHTML = entries.join(" · ") +
+    ' <span style="float:right">[' + fmt(vMin) + " … " + fmt(vMax) + "]</span>";
+}
+
+function render(snap) {
+  const groups = new Map();
+  for (const s of snap.series || []) {
+    if (!groups.has(s.name)) groups.set(s.name, []);
+    groups.get(s.name).push(s);
+  }
+  for (const [name, group] of groups) drawGroup(name, group);
+
+  const drift = snap.drift || [];
+  const banner = document.getElementById("drift");
+  if (drift.length) {
+    banner.style.display = "block";
+    banner.textContent = "model drift: " + drift.map(d =>
+      d.constraint + "/" + d.vertex + " (" + d.reason + ", rel err " +
+      fmt(d.mean_abs_rel_err) + ", bias " + fmt(d.sign_bias) + ")").join("; ");
+  } else {
+    banner.style.display = "none";
+  }
+
+  const tbody = document.querySelector("#residuals tbody");
+  tbody.innerHTML = "";
+  for (const r of snap.residuals || []) {
+    const tr = document.createElement("tr");
+    const drifting = r.drift ? '<span class="drifting">' +
+      (r.drift_reasons || []).join(", ") + "</span>" : '<span class="ok">ok</span>';
+    tr.innerHTML = "<td>" + r.constraint + "</td><td>" + r.vertex + "</td><td>" +
+      r.samples + "</td><td>" + fmt(r.residual_mean_seconds * 1000) + "</td><td>" +
+      fmt(r.residual_stddev_seconds * 1000) + "</td><td>" + fmt(r.mean_abs_rel_err) +
+      "</td><td>" + fmt(r.sign_bias) + "</td><td>" + drifting + "</td>";
+    tbody.appendChild(tr);
+  }
+}
+
+const status = document.getElementById("status");
+const es = new EventSource("/dash/sse");
+es.onopen = () => { status.className = "live"; status.textContent = "live"; };
+es.onerror = () => { status.className = "down"; status.textContent = "disconnected — retrying"; };
+es.onmessage = e => { try { render(JSON.parse(e.data)); } catch (_) {} };
+</script>
+</body>
+</html>
+`

@@ -53,6 +53,10 @@ type ScalingDecision struct {
 	Old     map[string]int `json:"old"`
 	New     map[string]int `json:"new"`
 	Actions []string       `json:"actions,omitempty"`
+	// Drift lists the (constraint, vertex) cells whose Kingman
+	// predictions have drifted from the measured queue waits, as
+	// reported by the telemetry residual monitor at decision time.
+	Drift []DriftFlag `json:"drift,omitempty"`
 }
 
 // ConstraintDecision explains how one latency constraint was handled.

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -19,11 +20,24 @@ type Metric struct {
 	Name string
 	// Help is the one-line # HELP text (optional).
 	Help string
-	// Type is "gauge" or "counter" (default "gauge").
+	// Type is "gauge", "counter" or "histogram" (default "gauge").
 	Type string
-	// Labels are rendered sorted by key.
+	// Labels are rendered sorted by key, with values escaped per the
+	// exposition format.
 	Labels map[string]string
 	Value  float64
+	// Histogram samples (Type "histogram") render _bucket/_sum/_count
+	// lines from these fields instead of Value.
+	Buckets     []BucketCount
+	Sum         float64
+	SampleCount uint64
+}
+
+// BucketCount is one cumulative histogram bucket: CumulativeCount
+// observations were <= UpperBound. The +Inf bucket is implicit.
+type BucketCount struct {
+	UpperBound      float64
+	CumulativeCount uint64
 }
 
 // ServerConfig wires the introspection endpoints to a run's state. All
@@ -34,14 +48,19 @@ type ServerConfig struct {
 	Recorder *Recorder
 	// Tracer contributes span counters to /metrics.
 	Tracer *Tracer
+	// Telemetry backs /timeseries and the /dash SSE dashboard, and
+	// contributes its store (including histograms) to /metrics.
+	Telemetry *Telemetry
 	// Metrics, when set, supplies additional application metrics per
 	// scrape (e.g. from a GaugeSet).
 	Metrics func() []Metric
 }
 
 // NewHandler returns the introspection mux: /healthz, /metrics
-// (Prometheus text format), /debug/pprof/* and /scaler/decisions
-// (recent audit trail as JSON; ?n=K limits to the newest K events).
+// (Prometheus text format), /timeseries (time-series store + residual
+// stats as JSON), /dash (live SSE dashboard), /debug/pprof/* and
+// /scaler/decisions (recent audit trail as JSON; ?n=K limits to the
+// newest K events).
 func NewHandler(cfg ServerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -51,6 +70,17 @@ func NewHandler(cfg ServerConfig) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writeMetrics(w, collectMetrics(cfg))
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		since, _ := strconv.ParseFloat(q.Get("since"), 64)
+		maxPoints, _ := strconv.Atoi(q.Get("n"))
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(cfg.Telemetry.Snapshot(q.Get("name"), since, maxPoints))
+	})
+	mux.HandleFunc("/dash", serveDashPage)
+	mux.HandleFunc("/dash/sse", func(w http.ResponseWriter, r *http.Request) {
+		serveDashSSE(w, r, cfg.Telemetry)
 	})
 	mux.HandleFunc("/scaler/decisions", func(w http.ResponseWriter, r *http.Request) {
 		n := 0
@@ -77,8 +107,8 @@ func NewHandler(cfg ServerConfig) http.Handler {
 	return mux
 }
 
-// collectMetrics assembles the built-in recorder/tracer metrics plus
-// the application's.
+// collectMetrics assembles the built-in recorder/tracer metrics, the
+// telemetry store, and the application's.
 func collectMetrics(cfg ServerConfig) []Metric {
 	var ms []Metric
 	if cfg.Recorder != nil {
@@ -96,6 +126,7 @@ func collectMetrics(cfg ServerConfig) []Metric {
 			Metric{Name: "nephelix_trace_e2e_mean_seconds", Help: "Mean end-to-end latency of finished spans.", Value: mean},
 		)
 	}
+	ms = append(ms, cfg.Telemetry.ExpositionMetrics()...)
 	if cfg.Metrics != nil {
 		ms = append(ms, cfg.Metrics()...)
 	}
@@ -103,12 +134,20 @@ func collectMetrics(cfg ServerConfig) []Metric {
 }
 
 // writeMetrics renders metrics in the Prometheus text exposition
-// format. Metrics sharing a name emit HELP/TYPE once (first wins).
-func writeMetrics(w http.ResponseWriter, ms []Metric) {
-	seen := make(map[string]bool)
+// format. Metrics sharing a name emit HELP/TYPE once (first wins);
+// samples sharing a full identity (name plus labels) are deduplicated,
+// first wins.
+func writeMetrics(w io.Writer, ms []Metric) {
+	seenName := make(map[string]bool)
+	seenSample := make(map[string]bool)
 	for _, m := range ms {
-		if !seen[m.Name] {
-			seen[m.Name] = true
+		key := metricKey(m)
+		if seenSample[key] {
+			continue
+		}
+		seenSample[key] = true
+		if !seenName[m.Name] {
+			seenName[m.Name] = true
 			if m.Help != "" {
 				fmt.Fprintf(w, "# HELP %s %s\n", m.Name, m.Help)
 			}
@@ -118,24 +157,71 @@ func writeMetrics(w http.ResponseWriter, ms []Metric) {
 			}
 			fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, typ)
 		}
-		if len(m.Labels) == 0 {
-			fmt.Fprintf(w, "%s %s\n", m.Name, formatValue(m.Value))
+		if m.Type == "histogram" {
+			writeHistogram(w, m)
 			continue
 		}
-		keys := make([]string, 0, len(m.Labels))
-		for k := range m.Labels {
-			keys = append(keys, k)
+		if labels := formatLabels(m.Labels, "", ""); labels != "" {
+			fmt.Fprintf(w, "%s{%s} %s\n", m.Name, labels, formatValue(m.Value))
+		} else {
+			fmt.Fprintf(w, "%s %s\n", m.Name, formatValue(m.Value))
 		}
-		sort.Strings(keys)
-		var b strings.Builder
-		for i, k := range keys {
-			if i > 0 {
-				b.WriteByte(',')
-			}
-			fmt.Fprintf(&b, "%s=%q", k, m.Labels[k])
-		}
-		fmt.Fprintf(w, "%s{%s} %s\n", m.Name, b.String(), formatValue(m.Value))
 	}
+}
+
+// writeHistogram renders one histogram's _bucket/_sum/_count lines.
+func writeHistogram(w io.Writer, m Metric) {
+	for _, b := range m.Buckets {
+		labels := formatLabels(m.Labels, "le", formatValue(b.UpperBound))
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.Name, labels, b.CumulativeCount)
+	}
+	labels := formatLabels(m.Labels, "le", "+Inf")
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.Name, labels, m.SampleCount)
+	if base := formatLabels(m.Labels, "", ""); base != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", m.Name, base, formatValue(m.Sum))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", m.Name, base, m.SampleCount)
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", m.Name, formatValue(m.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", m.Name, m.SampleCount)
+	}
+}
+
+// labelEscaper escapes label values per the Prometheus text exposition
+// format: backslash, double quote and newline.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// formatLabels renders a label set sorted by key, appending one extra
+// pair (extraKey non-empty) after the sorted base labels — used for the
+// histogram "le" label. Returns "" for an empty set.
+func formatLabels(labels map[string]string, extraKey, extraValue string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(labels[k]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(extraValue))
+		b.WriteByte('"')
+	}
+	return b.String()
 }
 
 // formatValue renders a sample value the way Prometheus expects.
@@ -165,7 +251,6 @@ func Serve(addr string, cfg ServerConfig) (*http.Server, error) {
 // overwrites.
 type GaugeSet struct {
 	mu     sync.Mutex
-	order  []string
 	gauges map[string]Metric
 }
 
@@ -180,31 +265,36 @@ func (g *GaugeSet) Set(name string, labels map[string]string, value float64) {
 		return
 	}
 	m := Metric{Name: name, Labels: labels, Value: value}
-	key := metricKey(m)
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, ok := g.gauges[key]; !ok {
-		g.order = append(g.order, key)
-	}
-	g.gauges[key] = m
+	g.gauges[metricKey(m)] = m
 }
 
-// Metrics snapshots the gauges in insertion order; pass it as
-// ServerConfig.Metrics.
+// Metrics snapshots the gauges sorted by identity key, so consecutive
+// /metrics scrapes render the series in a stable order regardless of
+// insertion order; pass it as ServerConfig.Metrics.
 func (g *GaugeSet) Metrics() []Metric {
 	if g == nil {
 		return nil
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	out := make([]Metric, 0, len(g.order))
-	for _, key := range g.order {
+	keys := make([]string, 0, len(g.gauges))
+	for key := range g.gauges {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	out := make([]Metric, 0, len(keys))
+	for _, key := range keys {
 		out = append(out, g.gauges[key])
 	}
 	return out
 }
 
-// metricKey builds the identity key of a metric sample.
+// metricKey builds the identity key of a metric sample. Label names and
+// values are quoted so no choice of label content can collide with
+// another identity (an unescaped separator would let {a:"x,b=y"} alias
+// {a:"x", b:"y"}).
 func metricKey(m Metric) string {
 	if len(m.Labels) == 0 {
 		return m.Name
@@ -217,10 +307,11 @@ func metricKey(m Metric) string {
 	var b strings.Builder
 	b.WriteString(m.Name)
 	for _, k := range keys {
-		b.WriteByte('\x00')
-		b.WriteString(k)
+		b.WriteByte('{')
+		b.WriteString(strconv.Quote(k))
 		b.WriteByte('=')
-		b.WriteString(m.Labels[k])
+		b.WriteString(strconv.Quote(m.Labels[k]))
+		b.WriteByte('}')
 	}
 	return b.String()
 }

@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"nephelix/internal/core"
+	"nephelix/internal/metrics"
+	"nephelix/internal/model"
+	"nephelix/internal/qos"
+)
+
+// The paper's whole strategy rests on the fitted Kingman approximation
+// (Equations 3–4) staying close to the queue waits that actually
+// materialize. ResidualMonitor closes that loop online: at every
+// decision it records W(p*) for the parallelism the scaler chose, one
+// adjustment interval later it pairs the prediction with the measured
+// queue wait of the vertex's ingoing sequence edge, and it keeps
+// per-(constraint, vertex) Welford residual statistics plus drift flags
+// that the audit trail and the prediction-quality experiment consume.
+
+// ResidualConfig tunes the drift detection thresholds.
+type ResidualConfig struct {
+	// MinSamples is the number of scored predictions a cell needs
+	// before it may flag drift (default 8).
+	MinSamples int
+	// RelErrDrift flags a cell whose mean |measured−predicted|/measured
+	// exceeds this (default 1.0, i.e. predictions off by more than the
+	// measurement itself on average).
+	RelErrDrift float64
+	// BiasDrift flags a cell whose prediction sign bias
+	// (over−under)/(over+under) exceeds this in magnitude (default 0.9:
+	// nearly every prediction errs the same way).
+	BiasDrift float64
+}
+
+// DefaultResidualConfig returns the default thresholds.
+func DefaultResidualConfig() ResidualConfig {
+	return ResidualConfig{MinSamples: 8, RelErrDrift: 1.0, BiasDrift: 0.9}
+}
+
+func (c ResidualConfig) withDefaults() ResidualConfig {
+	if c.MinSamples <= 0 {
+		c.MinSamples = 8
+	}
+	if c.RelErrDrift <= 0 {
+		c.RelErrDrift = 1.0
+	}
+	if c.BiasDrift <= 0 {
+		c.BiasDrift = 0.9
+	}
+	return c
+}
+
+// ResidualKey identifies one monitored (constraint, vertex) pair.
+type ResidualKey struct {
+	Constraint string `json:"constraint"`
+	Vertex     string `json:"vertex"`
+}
+
+// ResidualStat is the JSON snapshot of one cell's accumulated
+// prediction-residual statistics. Residual means measured − predicted,
+// in seconds.
+type ResidualStat struct {
+	Constraint string `json:"constraint"`
+	Vertex     string `json:"vertex"`
+	// Samples counts scored prediction/measurement pairs.
+	Samples        int64   `json:"samples"`
+	ResidualMean   float64 `json:"residual_mean_seconds"`
+	ResidualStdDev float64 `json:"residual_stddev_seconds"`
+	// MeanAbsRelErr averages |measured−predicted|/measured over the
+	// RelErrSamples pairs with a positive measurement.
+	MeanAbsRelErr float64 `json:"mean_abs_rel_err"`
+	RelErrSamples int64   `json:"rel_err_samples"`
+	// Over counts predictions above the measurement, Under below;
+	// SignBias is (over−under)/(over+under) in [−1, 1].
+	Over     int64   `json:"over"`
+	Under    int64   `json:"under"`
+	SignBias float64 `json:"sign_bias"`
+	// Last scored pair, for dashboards.
+	LastPredicted float64 `json:"last_predicted_seconds"`
+	LastMeasured  float64 `json:"last_measured_seconds"`
+	LastAt        float64 `json:"last_at"`
+	// Drift and DriftReasons mirror the cell's current drift flags.
+	Drift        bool     `json:"drift"`
+	DriftReasons []string `json:"drift_reasons,omitempty"`
+}
+
+// DriftFlag marks one (constraint, vertex) cell whose predictions have
+// drifted from the measurements. Embedded in scaling_decision audit
+// events and returned by the prediction-quality sweep.
+type DriftFlag struct {
+	Constraint string `json:"constraint"`
+	Vertex     string `json:"vertex"`
+	// Reason is "high-rel-err" or "sign-bias".
+	Reason        string  `json:"reason"`
+	MeanAbsRelErr float64 `json:"mean_abs_rel_err"`
+	SignBias      float64 `json:"sign_bias"`
+	Samples       int64   `json:"samples"`
+}
+
+// ScoredResidual is one matured prediction/measurement pair, emitted by
+// Observe so the telemetry layer can feed residual histograms.
+type ScoredResidual struct {
+	Constraint string
+	Vertex     string
+	At         float64
+	Predicted  float64
+	Measured   float64
+}
+
+// pendingPrediction is a W(p*) waiting for the next interval's summary.
+type pendingPrediction struct {
+	key       ResidualKey
+	edge      model.EdgeKey
+	predicted float64
+}
+
+// residualCell accumulates one (constraint, vertex) pair.
+type residualCell struct {
+	residual metrics.Welford // measured − predicted, seconds
+	absRel   metrics.Welford // |measured−predicted|/measured, measured > 0
+	over     int64
+	under    int64
+
+	lastPredicted float64
+	lastMeasured  float64
+	lastAt        float64
+}
+
+// ResidualMonitor pairs Kingman queue-wait predictions with the
+// measured waits of the following adjustment interval. All methods are
+// nil-safe and safe for concurrent use.
+type ResidualMonitor struct {
+	cfg ResidualConfig
+
+	mu      sync.Mutex
+	cells   map[ResidualKey]*residualCell
+	pending []pendingPrediction
+}
+
+// NewResidualMonitor returns a monitor with the given thresholds (zero
+// fields filled from DefaultResidualConfig).
+func NewResidualMonitor(cfg ResidualConfig) *ResidualMonitor {
+	return &ResidualMonitor{
+		cfg:   cfg.withDefaults(),
+		cells: make(map[ResidualKey]*residualCell),
+	}
+}
+
+// Observe advances the monitor by one adjustment interval: predictions
+// registered last interval are scored against s (the interval's global
+// summary), then d's fitted models register this interval's predictions
+// at the parallelism the decision settled on. d may be nil (scaler
+// inactive or absent); pending predictions are still scored. It returns
+// the pairs scored this call and the full set of currently drifting
+// cells, both in deterministic order.
+func (m *ResidualMonitor) Observe(now float64, s *qos.Summary, d *core.Decision) (scored []ScoredResidual, flags []DriftFlag) {
+	if m == nil {
+		return nil, nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if s != nil {
+		for _, p := range m.pending {
+			es, ok := s.Edge(p.edge)
+			if !ok {
+				continue // edge vanished from the summary: unscoreable
+			}
+			measured := es.QueueWait()
+			cell := m.cells[p.key]
+			if cell == nil {
+				cell = &residualCell{}
+				m.cells[p.key] = cell
+			}
+			cell.residual.Add(measured - p.predicted)
+			if measured > 0 {
+				cell.absRel.Add(math.Abs(measured-p.predicted) / measured)
+			}
+			switch {
+			case p.predicted > measured:
+				cell.over++
+			case p.predicted < measured:
+				cell.under++
+			}
+			cell.lastPredicted = p.predicted
+			cell.lastMeasured = measured
+			cell.lastAt = now
+			scored = append(scored, ScoredResidual{
+				Constraint: p.key.Constraint,
+				Vertex:     p.key.Vertex,
+				At:         now,
+				Predicted:  p.predicted,
+				Measured:   measured,
+			})
+		}
+	}
+	m.pending = m.pending[:0]
+
+	if d != nil {
+		for _, cd := range d.PerConstraint {
+			if cd.Skipped || cd.Constraint == nil || len(cd.Models) == 0 {
+				continue // bottleneck or skipped path: no fitted models
+			}
+			for _, vm := range cd.Models {
+				p, ok := d.Desired[vm.Name]
+				if !ok {
+					p, ok = cd.Parallelism[vm.Name]
+				}
+				if !ok {
+					p = vm.Current
+				}
+				predicted := vm.Wait(p)
+				if math.IsInf(predicted, 0) || math.IsNaN(predicted) {
+					continue // model predicts saturation: not scoreable
+				}
+				edge, ok := cd.Constraint.Sequence.IngoingEdge(vm.Name)
+				if !ok {
+					continue // first sequence element: no ingoing edge to measure
+				}
+				m.pending = append(m.pending, pendingPrediction{
+					key:       ResidualKey{Constraint: cd.Constraint.Name, Vertex: vm.Name},
+					edge:      edge,
+					predicted: predicted,
+				})
+			}
+		}
+	}
+
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].Constraint != scored[j].Constraint {
+			return scored[i].Constraint < scored[j].Constraint
+		}
+		return scored[i].Vertex < scored[j].Vertex
+	})
+	return scored, m.driftLocked()
+}
+
+// driftLocked returns the drifting cells sorted by key. Callers hold m.mu.
+func (m *ResidualMonitor) driftLocked() []DriftFlag {
+	var flags []DriftFlag
+	for key, cell := range m.cells {
+		for _, reason := range m.cellDrift(cell) {
+			flags = append(flags, DriftFlag{
+				Constraint:    key.Constraint,
+				Vertex:        key.Vertex,
+				Reason:        reason,
+				MeanAbsRelErr: cell.absRel.Mean(),
+				SignBias:      cellBias(cell),
+				Samples:       cell.residual.Count(),
+			})
+		}
+	}
+	sort.Slice(flags, func(i, j int) bool {
+		a, b := flags[i], flags[j]
+		if a.Constraint != b.Constraint {
+			return a.Constraint < b.Constraint
+		}
+		if a.Vertex != b.Vertex {
+			return a.Vertex < b.Vertex
+		}
+		return a.Reason < b.Reason
+	})
+	return flags
+}
+
+// cellDrift lists a cell's active drift reasons.
+func (m *ResidualMonitor) cellDrift(cell *residualCell) []string {
+	var reasons []string
+	if cell.absRel.Count() >= int64(m.cfg.MinSamples) && cell.absRel.Mean() > m.cfg.RelErrDrift {
+		reasons = append(reasons, "high-rel-err")
+	}
+	if cell.over+cell.under >= int64(m.cfg.MinSamples) && math.Abs(cellBias(cell)) >= m.cfg.BiasDrift {
+		reasons = append(reasons, "sign-bias")
+	}
+	return reasons
+}
+
+func cellBias(cell *residualCell) float64 {
+	if cell.over+cell.under == 0 {
+		return 0
+	}
+	return float64(cell.over-cell.under) / float64(cell.over+cell.under)
+}
+
+// DriftFlags returns the currently drifting cells sorted by key.
+func (m *ResidualMonitor) DriftFlags() []DriftFlag {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.driftLocked()
+}
+
+// Snapshot returns every cell's statistics sorted by (constraint,
+// vertex). Nil-safe.
+func (m *ResidualMonitor) Snapshot() []ResidualStat {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]ResidualKey, 0, len(m.cells))
+	for key := range m.cells {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Constraint != keys[j].Constraint {
+			return keys[i].Constraint < keys[j].Constraint
+		}
+		return keys[i].Vertex < keys[j].Vertex
+	})
+	out := make([]ResidualStat, 0, len(keys))
+	for _, key := range keys {
+		cell := m.cells[key]
+		reasons := m.cellDrift(cell)
+		out = append(out, ResidualStat{
+			Constraint:     key.Constraint,
+			Vertex:         key.Vertex,
+			Samples:        cell.residual.Count(),
+			ResidualMean:   cell.residual.Mean(),
+			ResidualStdDev: cell.residual.StdDev(),
+			MeanAbsRelErr:  cell.absRel.Mean(),
+			RelErrSamples:  cell.absRel.Count(),
+			Over:           cell.over,
+			Under:          cell.under,
+			SignBias:       cellBias(cell),
+			LastPredicted:  cell.lastPredicted,
+			LastMeasured:   cell.lastMeasured,
+			LastAt:         cell.lastAt,
+			Drift:          len(reasons) > 0,
+			DriftReasons:   reasons,
+		})
+	}
+	return out
+}
+
+// Merge folds another monitor's accumulated cells into this one using
+// the parallel Welford merge; pending (unscored) predictions are not
+// transferred. The prediction-quality sweep merges per-seed monitors in
+// seed order so the pooled result is deterministic.
+func (m *ResidualMonitor) Merge(o *ResidualMonitor) {
+	if m == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for key, ocell := range o.cells {
+		cell := m.cells[key]
+		if cell == nil {
+			cell = &residualCell{}
+			m.cells[key] = cell
+		}
+		cell.residual.Merge(ocell.residual)
+		cell.absRel.Merge(ocell.absRel)
+		cell.over += ocell.over
+		cell.under += ocell.under
+		if ocell.lastAt >= cell.lastAt {
+			cell.lastPredicted = ocell.lastPredicted
+			cell.lastMeasured = ocell.lastMeasured
+			cell.lastAt = ocell.lastAt
+		}
+	}
+}

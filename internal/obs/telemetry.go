@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"nephelix/internal/core"
+	"nephelix/internal/obs/ts"
+	"nephelix/internal/qos"
+)
+
+// Telemetry is the live metrics plane of one run: a ts.Store scraped
+// every adjustment interval from the global QoS summary, the scaler's
+// decision, and the Go runtime, plus a ResidualMonitor pairing each
+// interval's Kingman queue-wait predictions with the next interval's
+// measurements. The runtimes call ObserveInterval and ObserveE2E; the
+// HTTP layer reads the result via /metrics, /timeseries and /dash.
+//
+// A nil *Telemetry is fully disabled: every method is a no-op costing
+// one pointer comparison and zero allocations.
+type Telemetry struct {
+	store *ts.Store
+	res   *ResidualMonitor
+
+	// Hot-path and per-tick handles, cached at construction.
+	e2e       *ts.Series
+	intervals *ts.Series
+	decisions *ts.Series
+	scaleUps  *ts.Series
+	scaleDown *ts.Series
+	holds     *ts.Series
+	infeas    *ts.Series
+
+	mu       sync.Mutex
+	resHists map[ResidualKey]*ts.Series
+}
+
+// NewTelemetry returns an enabled telemetry plane whose series keep
+// pointsPerSeries points each (ts.DefaultPoints when <= 0).
+func NewTelemetry(pointsPerSeries int) *Telemetry {
+	st := ts.NewStore(pointsPerSeries)
+	return &Telemetry{
+		store:     st,
+		res:       NewResidualMonitor(ResidualConfig{}),
+		e2e:       st.Histogram("nephelix_e2e_latency_seconds", nil, ts.LatencyBuckets),
+		intervals: st.Counter("nephelix_adjust_intervals_total", nil),
+		decisions: st.Counter("nephelix_scaler_decisions_total", nil),
+		scaleUps:  st.Counter("nephelix_scaler_scale_ups_total", nil),
+		scaleDown: st.Counter("nephelix_scaler_scale_downs_total", nil),
+		holds:     st.Counter("nephelix_scaler_holds_total", nil),
+		infeas:    st.Counter("nephelix_scaler_infeasible_total", nil),
+		resHists:  make(map[ResidualKey]*ts.Series),
+	}
+}
+
+// Store exposes the underlying time-series store (nil when disabled).
+func (t *Telemetry) Store() *ts.Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// Residuals exposes the prediction-residual monitor (nil when disabled).
+func (t *Telemetry) Residuals() *ResidualMonitor {
+	if t == nil {
+		return nil
+	}
+	return t.res
+}
+
+// ObserveE2E feeds one sampled end-to-end record latency (seconds) into
+// the e2e histogram. Called at span finish; allocation-free after the
+// first observation.
+func (t *Telemetry) ObserveE2E(now, latency float64) {
+	if t == nil {
+		return
+	}
+	t.e2e.Observe(now, latency)
+}
+
+// ObserveInterval scrapes one adjustment interval: it scores the
+// residual monitor (s is the interval's global summary, d the scaler's
+// decision or nil), then records summary, decision, residual and Go
+// runtime series. par is the live parallelism vector. It returns the
+// currently drifting cells so the caller can embed them in the
+// decision's audit event.
+func (t *Telemetry) ObserveInterval(now float64, s *qos.Summary, d *core.Decision, par map[string]int) []DriftFlag {
+	if t == nil {
+		return nil
+	}
+	scored, flags := t.res.Observe(now, s, d)
+	for _, sc := range scored {
+		t.residualHist(sc.Constraint, sc.Vertex).Observe(now, math.Abs(sc.Measured-sc.Predicted))
+	}
+	t.scrapeResiduals(now)
+	t.scrapeSummary(now, s, par)
+	t.scrapeDecision(now, d)
+	t.scrapeRuntime(now)
+	return flags
+}
+
+// residualHist returns the per-cell |residual| histogram, cached.
+func (t *Telemetry) residualHist(constraint, vertex string) *ts.Series {
+	key := ResidualKey{Constraint: constraint, Vertex: vertex}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.resHists[key]
+	if h == nil {
+		h = t.store.Histogram("nephelix_model_abs_residual_seconds",
+			map[string]string{"constraint": constraint, "vertex": vertex}, ts.LatencyBuckets)
+		t.resHists[key] = h
+	}
+	return h
+}
+
+// scrapeResiduals publishes the monitor's aggregate statistics as
+// gauge series.
+func (t *Telemetry) scrapeResiduals(now float64) {
+	for _, rs := range t.res.Snapshot() {
+		labels := map[string]string{"constraint": rs.Constraint, "vertex": rs.Vertex}
+		t.store.Gauge("nephelix_model_residual_mean_seconds", labels).Set(now, rs.ResidualMean)
+		t.store.Gauge("nephelix_model_residual_stddev_seconds", labels).Set(now, rs.ResidualStdDev)
+		t.store.Gauge("nephelix_model_rel_err_mean", labels).Set(now, rs.MeanAbsRelErr)
+		t.store.Gauge("nephelix_model_sign_bias", labels).Set(now, rs.SignBias)
+		drift := 0.0
+		if rs.Drift {
+			drift = 1
+		}
+		t.store.Gauge("nephelix_model_drift", labels).Set(now, drift)
+	}
+}
+
+// scrapeSummary publishes the per-vertex and per-edge QoS measurements.
+func (t *Telemetry) scrapeSummary(now float64, s *qos.Summary, par map[string]int) {
+	if s == nil {
+		return
+	}
+	names := make([]string, 0, len(s.Vertices))
+	for name := range s.Vertices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		vs := s.Vertices[name]
+		labels := map[string]string{"vertex": name}
+		p := vs.Parallelism
+		if live, ok := par[name]; ok {
+			p = live
+		}
+		t.store.Gauge("nephelix_vertex_parallelism", labels).Set(now, float64(p))
+		t.store.Gauge("nephelix_vertex_utilization", labels).Set(now, vs.Utilization())
+		t.store.Gauge("nephelix_vertex_service_mean_seconds", labels).Set(now, vs.ServiceTimeMean)
+		t.store.Gauge("nephelix_vertex_arrival_rate", labels).Set(now, vs.ArrivalRate())
+		t.store.Gauge("nephelix_vertex_task_latency_seconds", labels).Set(now, vs.TaskLatency)
+		t.store.Gauge("nephelix_vertex_fresh_tasks", labels).Set(now, float64(vs.FreshTasks))
+	}
+	edges := make([]string, 0, len(s.Edges))
+	byName := make(map[string]qos.EdgeStats, len(s.Edges))
+	for key, es := range s.Edges {
+		name := key.String()
+		edges = append(edges, name)
+		byName[name] = es
+	}
+	sort.Strings(edges)
+	for _, name := range edges {
+		es := byName[name]
+		labels := map[string]string{"edge": name}
+		t.store.Gauge("nephelix_edge_queue_wait_seconds", labels).Set(now, es.QueueWait())
+		t.store.Gauge("nephelix_edge_channel_latency_seconds", labels).Set(now, es.ChannelLatency)
+		t.store.Gauge("nephelix_edge_batch_latency_seconds", labels).Set(now, es.OutputBatchLatency)
+	}
+}
+
+// scrapeDecision counts the interval and the decision's outcome.
+func (t *Telemetry) scrapeDecision(now float64, d *core.Decision) {
+	t.intervals.Add(now, 1)
+	if d == nil {
+		return
+	}
+	t.decisions.Add(now, 1)
+	ups, downs := 0, 0
+	for _, a := range d.Actions {
+		if a.IsScaleUp() {
+			ups++
+		} else {
+			downs++
+		}
+	}
+	if ups > 0 {
+		t.scaleUps.Add(now, float64(ups))
+	}
+	if downs > 0 {
+		t.scaleDown.Add(now, float64(downs))
+	}
+	if len(d.Holds) > 0 {
+		t.holds.Add(now, float64(len(d.Holds)))
+	}
+	infeasible := 0
+	for _, cd := range d.PerConstraint {
+		if cd.Infeasible {
+			infeasible++
+		}
+	}
+	if infeasible > 0 {
+		t.infeas.Add(now, float64(infeasible))
+	}
+}
+
+// scrapeRuntime samples the Go runtime: heap, GC and goroutine counts.
+// One ReadMemStats per adjustment interval is cheap enough.
+func (t *Telemetry) scrapeRuntime(now float64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	t.store.Gauge("nephelix_go_heap_alloc_bytes", nil).Set(now, float64(ms.HeapAlloc))
+	t.store.Gauge("nephelix_go_gc_pause_total_seconds", nil).Set(now, float64(ms.PauseTotalNs)/1e9)
+	t.store.Gauge("nephelix_go_gcs_total", nil).Set(now, float64(ms.NumGC))
+	t.store.Gauge("nephelix_go_goroutines", nil).Set(now, float64(runtime.NumGoroutine()))
+}
+
+// ExpositionMetrics renders the store for /metrics: counters and gauges
+// as their latest value, histograms with cumulative buckets. The result
+// is sorted by series identity, so scrapes are deterministic.
+func (t *Telemetry) ExpositionMetrics() []Metric {
+	if t == nil {
+		return nil
+	}
+	snaps := t.store.Snapshot()
+	out := make([]Metric, 0, len(snaps))
+	for _, sn := range snaps {
+		m := Metric{Name: sn.Name, Labels: sn.Labels, Type: sn.Kind}
+		switch sn.Kind {
+		case "counter":
+			m.Value = sn.Total
+		case "histogram":
+			m.Sum = sn.Sum
+			m.SampleCount = sn.Count
+			m.Buckets = make([]BucketCount, len(sn.Buckets))
+			for i, b := range sn.Buckets {
+				m.Buckets[i] = BucketCount{UpperBound: b.LE, CumulativeCount: b.Count}
+			}
+		default:
+			if n := len(sn.Points); n > 0 {
+				m.Value = sn.Points[n-1].V
+			}
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// TimeseriesSnapshot is the JSON payload of /timeseries and the SSE
+// dashboard stream.
+type TimeseriesSnapshot struct {
+	Series    []ts.SeriesSnapshot `json:"series"`
+	Residuals []ResidualStat      `json:"residuals"`
+	Drift     []DriftFlag         `json:"drift,omitempty"`
+}
+
+// Snapshot renders the query (see ts.Store.Query for the parameters)
+// plus the residual monitor's statistics. Nil-safe: a disabled
+// telemetry yields empty (non-null) collections.
+func (t *Telemetry) Snapshot(prefix string, since float64, maxPoints int) TimeseriesSnapshot {
+	snap := TimeseriesSnapshot{Series: []ts.SeriesSnapshot{}, Residuals: []ResidualStat{}}
+	if t == nil {
+		return snap
+	}
+	if s := t.store.Query(prefix, since, maxPoints); s != nil {
+		snap.Series = s
+	}
+	if r := t.res.Snapshot(); r != nil {
+		snap.Residuals = r
+	}
+	snap.Drift = t.res.DriftFlags()
+	return snap
+}
+
+// WriteJSON dumps the full telemetry snapshot as indented JSON — the
+// shape served by /timeseries — for offline artifacts.
+func (t *Telemetry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Snapshot("", 0, 0))
+}

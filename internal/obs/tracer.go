@@ -69,6 +69,15 @@ type Span struct {
 	start float64
 }
 
+// Start returns the span's start time in seconds (0 on nil), so span
+// finishers can derive the end-to-end latency without re-tracking it.
+func (s *Span) Start() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.start
+}
+
 // StartSpan observes one source emission and returns a span when it is
 // the tracer's next head sample, nil otherwise. now is the emission
 // time in seconds.

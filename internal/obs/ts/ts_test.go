@@ -1,0 +1,196 @@
+package ts
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestObsTSCounter: counters accumulate and each point stores the
+// running total.
+func TestObsTSCounter(t *testing.T) {
+	st := NewStore(8)
+	c := st.Counter("reqs", nil)
+	c.Add(1, 2)
+	c.Add(2, 3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter total: got %v, want 5", got)
+	}
+	snap := st.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("series: got %d, want 1", len(snap))
+	}
+	if snap[0].Kind != "counter" || snap[0].Total != 5 {
+		t.Errorf("snapshot: %+v", snap[0])
+	}
+	want := []Point{{T: 1, V: 2}, {T: 2, V: 5}}
+	if len(snap[0].Points) != 2 || snap[0].Points[0] != want[0] || snap[0].Points[1] != want[1] {
+		t.Errorf("points: got %v, want %v", snap[0].Points, want)
+	}
+}
+
+// TestObsTSGaugeRingWrap: the ring keeps only the newest points, in
+// time order, once capacity is exceeded.
+func TestObsTSGaugeRingWrap(t *testing.T) {
+	st := NewStore(4)
+	g := st.Gauge("load", map[string]string{"vertex": "v1"})
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i), float64(i*i))
+	}
+	snap := st.Snapshot()[0]
+	if len(snap.Points) != 4 {
+		t.Fatalf("ring size: got %d points, want 4", len(snap.Points))
+	}
+	for i, p := range snap.Points {
+		wantT := float64(6 + i)
+		if p.T != wantT || p.V != wantT*wantT {
+			t.Errorf("point %d: got %+v, want t=%v v=%v", i, p, wantT, wantT*wantT)
+		}
+	}
+	if g.Value() != 81 {
+		t.Errorf("latest value: got %v, want 81", g.Value())
+	}
+}
+
+// TestObsTSHistogram: observations land in cumulative buckets with sum
+// and count, and the snapshot marshals to JSON (finite bounds only).
+func TestObsTSHistogram(t *testing.T) {
+	st := NewStore(8)
+	h := st.Histogram("lat", nil, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(0, v)
+	}
+	snap := st.Snapshot()[0]
+	if snap.Count != 4 || snap.Sum != 555.5 {
+		t.Errorf("sum/count: got %v/%d", snap.Sum, snap.Count)
+	}
+	wantCum := []uint64{1, 2, 3}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket le=%v: got %d, want %d", b.LE, b.Count, wantCum[i])
+		}
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("histogram snapshot must marshal: %v", err)
+	}
+}
+
+// TestObsTSIdentity: get-or-create is keyed by name plus labels, label
+// content cannot alias another identity, and a kind mismatch yields a
+// nil (no-op) series instead of corrupting the original.
+func TestObsTSIdentity(t *testing.T) {
+	st := NewStore(8)
+	a := st.Gauge("g", map[string]string{"x": "1"})
+	if b := st.Gauge("g", map[string]string{"x": "1"}); b != a {
+		t.Error("same identity must return the same series")
+	}
+	if c := st.Gauge("g", map[string]string{"x": "2"}); c == a {
+		t.Error("different label value must return a distinct series")
+	}
+	// Crafted values that would collide under naive separator joining.
+	st.Gauge("g", map[string]string{"a": `x","b":"y`})
+	st.Gauge("g", map[string]string{"a": "x", "b": "y"})
+	if st.Len() != 4 {
+		t.Errorf("store series: got %d, want 4 (no identity collisions)", st.Len())
+	}
+	if m := st.Counter("g", map[string]string{"x": "1"}); m != nil {
+		t.Error("kind mismatch must return nil, not the existing series")
+	}
+	a.Set(1, 42)
+	if a.Value() != 42 {
+		t.Error("original series must survive a mismatched lookup")
+	}
+}
+
+// TestObsTSQuery: prefix, since and maxPoints filters.
+func TestObsTSQuery(t *testing.T) {
+	st := NewStore(16)
+	g := st.Gauge("nephelix_vertex_parallelism", nil)
+	for i := 0; i < 10; i++ {
+		g.Set(float64(i), float64(i))
+	}
+	st.Counter("nephelix_scaler_decisions_total", nil).Add(0, 1)
+
+	if got := st.Query("nephelix_vertex_", 0, 0); len(got) != 1 {
+		t.Fatalf("prefix query: got %d series, want 1", len(got))
+	}
+	got := st.Query("nephelix_vertex_", 5, 0)[0]
+	if len(got.Points) != 5 || got.Points[0].T != 5 {
+		t.Errorf("since filter: got %v", got.Points)
+	}
+	got = st.Query("nephelix_vertex_", 0, 3)[0]
+	if len(got.Points) != 3 || got.Points[0].T != 7 {
+		t.Errorf("maxPoints must keep the newest: got %v", got.Points)
+	}
+	// Snapshot order is by identity key, deterministic.
+	snap := st.Snapshot()
+	if snap[0].Name != "nephelix_scaler_decisions_total" || snap[1].Name != "nephelix_vertex_parallelism" {
+		t.Errorf("snapshot order: %s, %s", snap[0].Name, snap[1].Name)
+	}
+}
+
+// TestObsTSConcurrentScrapeVsRecord hammers the store with concurrent
+// recorders and scrapers; run under -race this is the satellite's
+// concurrency guarantee for the ts layer.
+func TestObsTSConcurrentScrapeVsRecord(t *testing.T) {
+	st := NewStore(32)
+	var writers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			g := st.Gauge("g", map[string]string{"w": string(rune('a' + w))})
+			c := st.Counter("c", nil)
+			h := st.Histogram("h", nil, nil)
+			for i := 0; i < 2000; i++ {
+				g.Set(float64(i), float64(i))
+				c.Add(float64(i), 1)
+				h.Observe(float64(i), float64(i)/1000)
+			}
+		}(w)
+	}
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = st.Snapshot()
+				_ = st.Query("g", 0, 8)
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := st.Counter("c", nil).Value(); got != 8000 {
+		t.Errorf("concurrent counter total: got %v, want 8000", got)
+	}
+}
+
+// TestObsTSDisabledAllocs pins the zero-cost disabled contract: every
+// operation on a nil store or nil series must not allocate.
+func TestObsTSDisabledAllocs(t *testing.T) {
+	var st *Store
+	var s *Series
+	labels := map[string]string{"vertex": "v"}
+	allocs := testing.AllocsPerRun(100, func() {
+		st.Counter("c", labels).Add(1, 1)
+		st.Gauge("g", labels).Set(1, 1)
+		st.Histogram("h", labels, nil).Observe(1, 1)
+		s.Add(1, 1)
+		s.Set(1, 1)
+		s.Observe(1, 1)
+		_ = s.Value()
+		_ = st.Snapshot()
+		_ = st.Query("", 0, 0)
+		_ = st.Len()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled ts path allocates: %v allocs/op, want 0", allocs)
+	}
+}

@@ -71,3 +71,33 @@ func TestDisabledObsAddsNoAllocs(t *testing.T) {
 		t.Errorf("disabled obs costs allocations: %.4f allocs/item with obs vs %.4f without", withObs, base)
 	}
 }
+
+// TestObsDisabledTelemetryAddsNoAllocs extends the zero-cost contract to
+// the telemetry plane: a nil *obs.Telemetry (the default) must cost
+// nothing per item — the hook is one pointer comparison.
+func TestObsDisabledTelemetryAddsNoAllocs(t *testing.T) {
+	base := allocsPerItem(t, nil)
+	withNil := allocsPerItem(t, func(cfg *Config) {
+		var tel *obs.Telemetry
+		cfg.Telemetry = tel
+		cfg.Tracer = obs.NewTracer(0)
+		cfg.Recorder = obs.NewRecorder(0)
+	})
+	if withNil > base+0.01 {
+		t.Errorf("disabled telemetry costs allocations: %.4f allocs/item vs %.4f base", withNil, base)
+	}
+}
+
+// TestObsEnabledTelemetryAllocsBounded keeps the enabled plane honest:
+// per-item recording reuses pre-allocated rings, so the only allocation
+// growth is the per-adjustment-interval scrape, which must amortize far
+// below the simulator's 0.5 allocs/item budget on this workload.
+func TestObsEnabledTelemetryAllocsBounded(t *testing.T) {
+	base := allocsPerItem(t, nil)
+	withTel := allocsPerItem(t, func(cfg *Config) {
+		cfg.Telemetry = obs.NewTelemetry(256)
+	})
+	if withTel > base+0.25 {
+		t.Errorf("enabled telemetry allocates %.4f allocs/item over the %.4f base, want ≤ +0.25", withTel-base, base)
+	}
+}

@@ -194,6 +194,11 @@ type Config struct {
 	// queue wait and service time. Nil disables tracing at near-zero
 	// cost.
 	Tracer *obs.Tracer
+	// Telemetry, when set, is scraped every adjustment interval (QoS
+	// summary, scaler decision, Go runtime) and scores the Kingman
+	// queue-wait predictions against the next interval's measurements.
+	// Nil disables telemetry at zero cost.
+	Telemetry *obs.Telemetry
 }
 
 // AdjustmentInfo is the control-plane state passed to Config.OnAdjust.

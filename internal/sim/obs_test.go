@@ -5,12 +5,17 @@ import (
 	"bytes"
 	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 
 	"nephelix/internal/core"
+	"nephelix/internal/metrics"
 	"nephelix/internal/model"
 	"nephelix/internal/obs"
+	"nephelix/internal/qos"
 	"nephelix/internal/workload"
 )
 
@@ -275,5 +280,186 @@ func TestObsSimUntracedRunUnchanged(t *testing.T) {
 	if plain.Probes["e2e"].Mean != traced.Probes["e2e"].Mean {
 		t.Errorf("tracing changed the simulation outcome: %v vs %v",
 			plain.Probes["e2e"].Mean, traced.Probes["e2e"].Mean)
+	}
+}
+
+// TestObsSimResidualTelemetryParity is the end-to-end pin of the
+// prediction-residual monitor: it replays the decision JSONL offline —
+// reconstructing every registered Kingman prediction W(p*) from the
+// audit event's fitted A/B coefficients and parallelism choice, and
+// pairing it with the next interval's measured queue wait exactly as
+// the monitor does — and requires the recomputed statistics to match
+// both the live monitor and the /timeseries HTTP payload.
+func TestObsSimResidualTelemetryParity(t *testing.T) {
+	probes := NewProbeSet()
+	cfg := elasticObsConfig(t, probes)
+	rec := obs.NewRecorder(0)
+	tel := obs.NewTelemetry(0)
+	cfg.Recorder = rec
+	cfg.Telemetry = tel
+	// The e2e latency histogram is fed from head-sampled trace spans.
+	cfg.Tracer = obs.NewTracer(10)
+
+	// summaries[i] is the global summary of adjustment interval i+1 —
+	// the same object ObserveInterval scored against (MergePartials
+	// allocates a fresh summary per tick, so retaining them is safe).
+	var summaries []*qos.Summary
+	cfg.OnAdjust = func(info AdjustmentInfo) { summaries = append(summaries, info.Summary) }
+
+	s, err := New(cfg, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline replay from the exported JSONL.
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	type cellAcc struct {
+		residual, absRel metrics.Welford
+		over, under      int64
+	}
+	cells := make(map[obs.ResidualKey]*cellAcc)
+	seq := cfg.Constraints[0].Sequence
+	scoredTotal := 0
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Decision == nil {
+			continue
+		}
+		d := ev.Decision
+		// Predictions registered at interval k are scored against the
+		// summary of interval k+1 (summaries[k], 0-indexed); a decision in
+		// the run's final interval is never scored.
+		if d.Interval >= len(summaries) {
+			continue
+		}
+		next := summaries[d.Interval]
+		for _, cd := range d.Constraints {
+			if cd.Skipped || cd.Constraint == "" || len(cd.Model) == 0 {
+				continue
+			}
+			for _, m := range cd.Model {
+				p, ok := d.New[m.Vertex]
+				if !ok {
+					p, ok = cd.Parallelism[m.Vertex]
+				}
+				if !ok {
+					p = m.Current
+				}
+				// W(p) = A/(p−B), +Inf for p ≤ B (skipped), 0 for A ≤ 0.
+				pf := float64(p)
+				if pf <= m.B {
+					continue
+				}
+				predicted := 0.0
+				if m.A > 0 {
+					predicted = m.A / (pf - m.B)
+				}
+				edge, ok := seq.IngoingEdge(m.Vertex)
+				if !ok {
+					continue
+				}
+				es, ok := next.Edge(edge)
+				if !ok {
+					continue
+				}
+				measured := es.QueueWait()
+				key := obs.ResidualKey{Constraint: cd.Constraint, Vertex: m.Vertex}
+				acc := cells[key]
+				if acc == nil {
+					acc = &cellAcc{}
+					cells[key] = acc
+				}
+				acc.residual.Add(measured - predicted)
+				if measured > 0 {
+					acc.absRel.Add(math.Abs(measured-predicted) / measured)
+				}
+				switch {
+				case predicted > measured:
+					acc.over++
+				case predicted < measured:
+					acc.under++
+				}
+				scoredTotal++
+			}
+		}
+	}
+	if scoredTotal < 10 {
+		t.Fatalf("offline replay scored only %d pairs; the elastic run must exercise the monitor", scoredTotal)
+	}
+
+	// Live monitor vs offline replay: identical pairing, identical order,
+	// so the Welford statistics must agree to numerical identity.
+	stats := tel.Residuals().Snapshot()
+	if len(stats) != len(cells) {
+		t.Fatalf("monitor tracks %d cells, offline replay found %d", len(stats), len(cells))
+	}
+	for _, st := range stats {
+		acc := cells[obs.ResidualKey{Constraint: st.Constraint, Vertex: st.Vertex}]
+		if acc == nil {
+			t.Errorf("cell %s/%s not reproduced offline", st.Constraint, st.Vertex)
+			continue
+		}
+		if st.Samples != acc.residual.Count() || st.Over != acc.over || st.Under != acc.under ||
+			st.RelErrSamples != acc.absRel.Count() {
+			t.Errorf("cell %s/%s counts: live {samples %d over %d under %d relerr %d}, offline {%d %d %d %d}",
+				st.Constraint, st.Vertex, st.Samples, st.Over, st.Under, st.RelErrSamples,
+				acc.residual.Count(), acc.over, acc.under, acc.absRel.Count())
+		}
+		if math.Abs(st.ResidualMean-acc.residual.Mean()) > 1e-12 ||
+			math.Abs(st.ResidualStdDev-acc.residual.StdDev()) > 1e-12 ||
+			math.Abs(st.MeanAbsRelErr-acc.absRel.Mean()) > 1e-12 {
+			t.Errorf("cell %s/%s stats: live {mean %v stddev %v relerr %v}, offline {%v %v %v}",
+				st.Constraint, st.Vertex, st.ResidualMean, st.ResidualStdDev, st.MeanAbsRelErr,
+				acc.residual.Mean(), acc.residual.StdDev(), acc.absRel.Mean())
+		}
+	}
+
+	// The /timeseries payload must carry the same residual statistics
+	// bit-for-bit (float64 survives the JSON round-trip exactly).
+	srv := httptest.NewServer(obs.NewHandler(obs.ServerConfig{Recorder: rec, Telemetry: tel}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.TimeseriesSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap.Residuals, stats) {
+		t.Errorf("/timeseries residuals diverge from the monitor:\nhttp: %+v\nlive: %+v", snap.Residuals, stats)
+	}
+	seriesNames := make(map[string]bool)
+	for _, sn := range snap.Series {
+		seriesNames[sn.Name] = true
+	}
+	for _, want := range []string{
+		"nephelix_e2e_latency_seconds",
+		"nephelix_model_residual_mean_seconds",
+		"nephelix_model_abs_residual_seconds",
+		"nephelix_vertex_parallelism",
+		"nephelix_edge_queue_wait_seconds",
+		"nephelix_scaler_decisions_total",
+	} {
+		if !seriesNames[want] {
+			t.Errorf("/timeseries missing series %s", want)
+		}
+	}
+	for _, sn := range snap.Series {
+		if sn.Name == "nephelix_e2e_latency_seconds" && sn.Count == 0 {
+			t.Error("e2e latency histogram recorded no observations")
+		}
 	}
 }

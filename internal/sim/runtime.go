@@ -537,6 +537,7 @@ func (s *Sim) serviceDone(t *simTask) {
 		it.span.Hop(t.vtx.jv.Name, it.src.edge.String(), batchDelay, transit, wait, st)
 		if len(t.gates) == 0 {
 			it.span.Finish(s.now)
+			s.cfg.Telemetry.ObserveE2E(s.now, s.now-it.span.Start())
 		}
 	}
 	t.curSpan = it.span

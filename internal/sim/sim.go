@@ -454,8 +454,13 @@ func (s *Sim) adjustmentTick() {
 	if s.scaler != nil {
 		decision, decErr = s.scaler.Decide(global, par)
 	}
+	// Telemetry observes before the decision is recorded so the audit
+	// event can embed the residual monitor's current drift flags.
+	drift := s.cfg.Telemetry.ObserveInterval(s.now, global, decision, par)
 	if decision != nil && s.cfg.Recorder != nil {
-		s.cfg.Recorder.RecordDecision(s.now, obs.NewScalingDecision(s.adjustRounds, decision, par))
+		sd := obs.NewScalingDecision(s.adjustRounds, decision, par)
+		sd.Drift = drift
+		s.cfg.Recorder.RecordDecision(s.now, sd)
 	}
 	if s.cfg.OnAdjust != nil {
 		s.cfg.OnAdjust(AdjustmentInfo{Now: s.now, Summary: global, Deadlines: s.deadlines, Decision: decision})
