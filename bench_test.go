@@ -434,6 +434,30 @@ func benchSimulatorEvents(b *testing.B, configure func(*sim.Config)) {
 	}
 }
 
+// BenchmarkEngineThroughput measures the live engine's data plane:
+// delivered records per second of a saturated src→work→sink pipeline for
+// every output-batching mode × wiring pattern. One iteration runs about
+// a second of wall-clock time; run with -benchtime 1x. The allocation
+// columns cover the whole run (setup amortized by ~10^5 records), so
+// B/op and allocs/op track the pooled data plane's steady-state budget.
+func BenchmarkEngineThroughput(b *testing.B) {
+	for _, c := range experiments.EngineBenchCases() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) {
+			var m map[string]float64
+			for i := 0; i < b.N; i++ {
+				var err error
+				m, err = experiments.RunEngineBench(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(m["records/s"], "records/s")
+			b.ReportMetric(m["records"], "records-delivered")
+		})
+	}
+}
+
 // BenchmarkMillerRabin measures the probable-primality test used by the
 // live PrimeTester workload.
 func BenchmarkMillerRabin(b *testing.B) {

@@ -11,7 +11,8 @@
 // Without -paper the quick (laptop-scale) variants run; -paper uses the
 // full 130-node topology and 60 s steps (minutes of wall-clock time).
 // The bench subcommand (not part of all) runs the micro-benchmark suite
-// and writes BENCH_sim.json for CI artifact diffing.
+// and writes BENCH_sim.json plus the engine data-plane suite's
+// BENCH_engine.json for CI artifact diffing.
 package main
 
 import (
@@ -283,7 +284,20 @@ func runBench(outDir string) error {
 		return err
 	}
 	fmt.Printf("=== bench suite (%s) ===\n%s", time.Since(start).Round(time.Millisecond), suite)
-	path := filepath.Join(outDir, "BENCH_sim.json")
+	if err := writeBenchJSON(outDir, "BENCH_sim.json", suite); err != nil {
+		return err
+	}
+	start = time.Now()
+	engineSuite, err := experiments.RunEngineBenchSuite()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("=== engine bench suite (%s) ===\n%s", time.Since(start).Round(time.Millisecond), engineSuite)
+	return writeBenchJSON(outDir, "BENCH_engine.json", engineSuite)
+}
+
+func writeBenchJSON(outDir, name string, suite *experiments.BenchSuite) error {
+	path := filepath.Join(outDir, name)
 	data, err := json.MarshalIndent(suite, "", "  ")
 	if err != nil {
 		return err

@@ -239,6 +239,10 @@ type execution struct {
 	probes  *probe.ProbeSet
 	reports chan any
 
+	// pool recycles batch slices across all tasks of the execution (see
+	// pool.go for the ownership contract).
+	pool batchPool
+
 	// Supervision: tasks announce panics on failures (before their exit
 	// hook runs), the master schedules restarts onto restarts after a
 	// backoff delay. supervisors is master-goroutine-only state.
@@ -573,11 +577,13 @@ func (ex *execution) handleTaskFailure(f taskFailure, stopping bool) {
 		}
 	}
 	ex.mu.Unlock()
-	// Whatever was queued for the dead task is gone with it.
+	// Whatever was queued for the dead task is gone with it; the batch
+	// slices never reached a consumer, so the master recycles them.
 	for {
 		select {
 		case b := <-f.t.in:
 			ex.lostRecords.Add(int64(len(b.items)))
+			ex.pool.put(b.items)
 		default:
 			if stopping {
 				ex.pendingRecovery.Add(-1)

@@ -20,7 +20,9 @@ type channelRef struct {
 // all consumers (broadcast), or per key partition (key-based, one buffer
 // per consumer). The buffer is owned by the producing task goroutine; the
 // consumer list and the flush deadline are updated by the master and read
-// via atomics.
+// via atomics. Buffer slices cycle through the execution's batchPool (see
+// pool.go for the ownership contract), so the steady-state flush path
+// allocates nothing.
 type gate struct {
 	edge    model.EdgeKey
 	pos     int
@@ -34,18 +36,27 @@ type gate struct {
 	deadlineNs atomic.Int64
 
 	// consumerGen counts consumer-set changes (master-incremented); the
-	// producer re-draws its rotation offset when it observes a change.
+	// producer re-draws its rotation offset and reconciles key-pinned
+	// buffers when it observes a change.
 	consumerGen atomic.Int64
 
 	// drops points at the owning execution's no-consumer drop counter.
 	drops *atomic.Int64
 
-	// Producer-goroutine-owned state.
+	// pool recycles batch slices execution-wide.
+	pool *batchPool
+
+	// Producer-goroutine-owned state. out is the reusable shipment
+	// scratch every flush entry point (push, due, drainAll) returns; it
+	// is valid until the next gate call, which the single-producer
+	// discipline guarantees is after the caller shipped it.
 	rng      *rand.Rand
 	rr       int
 	rrGen    int64
 	rrInit   bool
+	keyGen   int64
 	buf      []Record
+	out      []shipment
 	oldest   time.Time
 	perKey   map[*channelRef][]Record
 	perKeyT  map[*channelRef]time.Time
@@ -54,7 +65,7 @@ type gate struct {
 }
 
 // newGate builds a gate for a producer task.
-func newGate(edge model.EdgeKey, pos, producer int, pattern model.WiringPattern, maxBatch int, drops *atomic.Int64) *gate {
+func newGate(edge model.EdgeKey, pos, producer int, pattern model.WiringPattern, maxBatch int, drops *atomic.Int64, pool *batchPool) *gate {
 	g := &gate{
 		edge:     edge,
 		pos:      pos,
@@ -62,6 +73,7 @@ func newGate(edge model.EdgeKey, pos, producer int, pattern model.WiringPattern,
 		producer: producer,
 		maxBatch: maxBatch,
 		drops:    drops,
+		pool:     pool,
 		rng:      rand.New(rand.NewSource(int64(producer)*2654435761 + int64(pos) + 1)),
 	}
 	if pattern == model.PatternKeyBased {
@@ -99,7 +111,10 @@ func (g *gate) addConsumer(ref *channelRef) {
 	g.consumerGen.Add(1)
 }
 
-// removeConsumer drops a consumer task's channel (master only).
+// removeConsumer drops a consumer task's channel (master only). Key
+// buffers pinned to the removed channel are reconciled by the producer
+// goroutine the next time it observes the generation change (push, due
+// or drainAll) — the master must not touch producer-owned maps.
 func (g *gate) removeConsumer(t *task) {
 	cur := g.snapshot()
 	next := make([]*channelRef, 0, len(cur))
@@ -112,8 +127,62 @@ func (g *gate) removeConsumer(t *task) {
 	g.consumerGen.Add(1)
 }
 
+// refLive reports whether ref is in the consumer snapshot.
+func refLive(consumers []*channelRef, ref *channelRef) bool {
+	for _, c := range consumers {
+		if c == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// reconcileKeys re-partitions key buffers stranded on consumers that
+// left the routing table (scale-down or crash) across the live consumer
+// set, so no buffered record is ever shipped to a removed task. Runs on
+// the producer goroutine; in steady state it costs one atomic load.
+func (g *gate) reconcileKeys(now time.Time) {
+	gen := g.consumerGen.Load()
+	if gen == g.keyGen {
+		return
+	}
+	g.keyGen = gen
+	if len(g.perKey) == 0 {
+		return
+	}
+	consumers := g.snapshot()
+	for ref, buf := range g.perKey {
+		if refLive(consumers, ref) {
+			continue
+		}
+		oldest := g.perKeyT[ref]
+		delete(g.perKey, ref)
+		delete(g.perKeyT, ref)
+		if len(consumers) == 0 {
+			g.drops.Add(int64(len(buf)))
+			g.pool.put(buf)
+			continue
+		}
+		for _, rec := range buf {
+			nref := consumers[int(mix64(rec.Key)%uint64(len(consumers)))]
+			nbuf := g.perKey[nref]
+			if nbuf == nil {
+				nbuf = g.pool.get()
+			}
+			g.perKey[nref] = append(nbuf, rec)
+			// The moved records keep their buffered age so the flush
+			// deadline still fires on time.
+			if t, ok := g.perKeyT[nref]; !ok || oldest.Before(t) {
+				g.perKeyT[nref] = oldest
+			}
+		}
+		g.pool.put(buf)
+	}
+}
+
 // push buffers a record and returns batches due for shipping (producer
-// goroutine only). The caller ships them (possibly blocking).
+// goroutine only). The caller ships them (possibly blocking); the
+// returned slice is gate-owned scratch, valid until the next gate call.
 func (g *gate) push(rec Record, now time.Time) []shipment {
 	consumers := g.snapshot()
 	if len(consumers) == 0 {
@@ -121,15 +190,20 @@ func (g *gate) push(rec Record, now time.Time) []shipment {
 		return nil
 	}
 	if g.pattern == model.PatternKeyBased {
+		g.reconcileKeys(now)
 		ref := consumers[int(mix64(rec.Key)%uint64(len(consumers)))]
 		buf := g.perKey[ref]
 		if len(buf) == 0 {
+			if buf == nil {
+				buf = g.pool.get()
+			}
 			g.perKeyT[ref] = now
 		}
 		buf = append(buf, rec)
 		g.perKey[ref] = buf
 		if g.deadline() <= 0 || len(buf) >= g.maxBatch {
-			return g.takeKeyed(ref, now)
+			g.out = g.takeKeyed(ref, now, g.out[:0])
+			return g.out
 		}
 		return nil
 	}
@@ -138,7 +212,8 @@ func (g *gate) push(rec Record, now time.Time) []shipment {
 	}
 	g.buf = append(g.buf, rec)
 	if g.deadline() <= 0 || len(g.buf) >= g.maxBatch {
-		return g.takeShared(now)
+		g.out = g.takeShared(now, g.out[:0])
+		return g.out
 	}
 	return nil
 }
@@ -149,33 +224,36 @@ type shipment struct {
 	b   batch
 }
 
-// takeShared drains the shared buffer into shipments per the pattern.
-func (g *gate) takeShared(now time.Time) []shipment {
+// takeShared drains the shared buffer into shipments appended to dst,
+// per the pattern.
+func (g *gate) takeShared(now time.Time, dst []shipment) []shipment {
 	if len(g.buf) == 0 {
-		return nil
+		return dst
 	}
 	consumers := g.snapshot()
 	if len(consumers) == 0 {
 		g.drops.Add(int64(len(g.buf)))
-		g.buf = nil
-		return nil
+		g.resetBuf()
+		return dst
 	}
 	items := g.buf
-	g.buf = nil
 	b := batch{items: items, producer: g.producer, edgePos: g.pos, oldestBuf: g.oldest, shipped: now}
 	if g.pattern == model.PatternBroadcast {
-		out := make([]shipment, 0, len(consumers))
-		for i, ref := range consumers {
+		// Uniform ownership: every consumer gets its own pooled copy and
+		// the gate keeps its buffer. Handing any consumer the original
+		// would let a record-mutating UDF corrupt the other copies'
+		// source — and under pooling, alias a recycled slice.
+		for _, ref := range consumers {
 			bb := b
-			if i < len(consumers)-1 {
-				cp := make([]Record, len(items))
-				copy(cp, items)
-				bb.items = cp
-			}
-			out = append(out, shipment{ref: ref, b: bb})
+			bb.items = append(g.pool.get(), items...)
+			dst = append(dst, shipment{ref: ref, b: bb})
 		}
-		return out
+		g.resetBuf()
+		return dst
 	}
+	// Rotation: the single addressee takes ownership of the buffer; the
+	// gate refills from the pool.
+	g.buf = g.pool.get()
 	if gen := g.consumerGen.Load(); !g.rrInit || gen != g.rrGen {
 		// (Re-)start the rotation at a random offset on every consumer-
 		// set change so producer sweeps never phase-lock (see the
@@ -189,43 +267,63 @@ func (g *gate) takeShared(now time.Time) []shipment {
 	}
 	ref := consumers[g.rr]
 	g.rr = (g.rr + 1) % len(consumers)
-	return []shipment{{ref: ref, b: b}}
+	return append(dst, shipment{ref: ref, b: b})
 }
 
-// takeKeyed drains one key-pinned buffer.
-func (g *gate) takeKeyed(ref *channelRef, now time.Time) []shipment {
+// resetBuf empties the shared buffer in place, zeroing dropped or copied
+// records so retained capacity pins no payloads or spans.
+func (g *gate) resetBuf() {
+	for i := range g.buf {
+		g.buf[i] = Record{}
+	}
+	g.buf = g.buf[:0]
+}
+
+// takeKeyed drains one key-pinned buffer into dst.
+func (g *gate) takeKeyed(ref *channelRef, now time.Time, dst []shipment) []shipment {
 	buf := g.perKey[ref]
 	if len(buf) == 0 {
-		return nil
+		return dst
 	}
 	delete(g.perKey, ref)
 	oldest := g.perKeyT[ref]
 	delete(g.perKeyT, ref)
-	return []shipment{{ref: ref, b: batch{items: buf, producer: g.producer, edgePos: g.pos, oldestBuf: oldest, shipped: now}}}
+	return append(dst, shipment{ref: ref, b: batch{items: buf, producer: g.producer, edgePos: g.pos, oldestBuf: oldest, shipped: now}})
 }
 
 // due returns all shipments whose oldest buffered record has exceeded the
-// deadline (called from the producer's flush tick).
+// deadline (called from the producer's flush tick). The returned slice
+// is gate-owned scratch, valid until the next gate call.
 func (g *gate) due(now time.Time) []shipment {
 	dl := g.deadline()
-	var out []shipment
+	out := g.out[:0]
 	if len(g.buf) > 0 && now.Sub(g.oldest) >= dl {
-		out = append(out, g.takeShared(now)...)
+		out = g.takeShared(now, out)
 	}
-	for ref, buf := range g.perKey {
-		if len(buf) > 0 && now.Sub(g.perKeyT[ref]) >= dl {
-			out = append(out, g.takeKeyed(ref, now)...)
+	if g.perKey != nil {
+		g.reconcileKeys(now)
+		for ref, buf := range g.perKey {
+			if len(buf) > 0 && now.Sub(g.perKeyT[ref]) >= dl {
+				out = g.takeKeyed(ref, now, out)
+			}
 		}
 	}
+	g.out = out
 	return out
 }
 
-// drainAll force-flushes everything buffered (task shutdown).
+// drainAll force-flushes everything buffered (task shutdown). Like due,
+// the returned slice is gate-owned scratch.
 func (g *gate) drainAll(now time.Time) []shipment {
-	out := g.takeShared(now)
-	for ref := range g.perKey {
-		out = append(out, g.takeKeyed(ref, now)...)
+	out := g.out[:0]
+	out = g.takeShared(now, out)
+	if g.perKey != nil {
+		g.reconcileKeys(now)
+		for ref := range g.perKey {
+			out = g.takeKeyed(ref, now, out)
+		}
 	}
+	g.out = out
 	return out
 }
 

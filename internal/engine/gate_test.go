@@ -1,0 +1,210 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nephelix/internal/model"
+)
+
+// testGate builds a bare gate wired to nobody, for direct unit tests of
+// the routing and buffering logic (no running tasks involved).
+func testGate(pattern model.WiringPattern, maxBatch int) (*gate, *atomic.Int64, *batchPool) {
+	drops := &atomic.Int64{}
+	pool := &batchPool{}
+	g := newGate(model.EdgeKey{Source: "a", Target: "b"}, 0, 0, pattern, maxBatch, drops, pool)
+	return g, drops, pool
+}
+
+// TestGateStrandedKeyBuffers is the regression test for the scale-down
+// routing bug: key buffers pinned to a removed consumer must be
+// re-partitioned over the live consumer set, never shipped to the
+// removed task. Pre-fix, removeConsumer left perKey[removed] in place
+// and due/drainAll shipped it to the dead task.
+func TestGateStrandedKeyBuffers(t *testing.T) {
+	g, _, _ := testGate(model.PatternKeyBased, 1024)
+	g.setDeadline(time.Minute)
+	keep, gone := &task{}, &task{}
+	refKeep := &channelRef{to: keep}
+	refGone := &channelRef{to: gone}
+	g.addConsumer(refKeep)
+	g.addConsumer(refGone)
+
+	now := time.Now()
+	const n = 64
+	for i := 0; i < n; i++ {
+		if out := g.push(Record{Key: uint64(i), Value: i}, now); len(out) != 0 {
+			t.Fatalf("push %d flushed early: %d shipments", i, len(out))
+		}
+	}
+	if len(g.perKey[refGone]) == 0 {
+		t.Fatal("test setup: no keys hashed to the removed consumer")
+	}
+
+	g.removeConsumer(gone)
+
+	// The moved records must keep their buffered age: a flush tick at
+	// exactly now+deadline has to ship everything. If reconciliation
+	// reset the age, nothing stranded would be due yet.
+	out := g.due(now.Add(time.Minute))
+	total := 0
+	for _, s := range out {
+		if s.ref.to == gone {
+			t.Fatalf("batch of %d records shipped to removed consumer", len(s.b.items))
+		}
+		if s.ref != refKeep {
+			t.Fatalf("shipment addressed to unknown ref %p", s.ref)
+		}
+		total += len(s.b.items)
+	}
+	if total != n {
+		t.Fatalf("flushed %d records after scale-down, want all %d", total, n)
+	}
+	if len(g.perKey) != 0 {
+		t.Fatalf("%d key buffers left behind after full flush", len(g.perKey))
+	}
+}
+
+// TestGateStrandedKeyBuffersNoConsumers covers the degenerate tail of the
+// same bug: when the last consumer leaves, stranded records are dropped
+// and counted, not kept pinned forever.
+func TestGateStrandedKeyBuffersNoConsumers(t *testing.T) {
+	g, drops, _ := testGate(model.PatternKeyBased, 1024)
+	g.setDeadline(time.Minute)
+	gone := &task{}
+	g.addConsumer(&channelRef{to: gone})
+
+	now := time.Now()
+	for i := 0; i < 16; i++ {
+		g.push(Record{Key: uint64(i)}, now)
+	}
+	g.removeConsumer(gone)
+	if out := g.drainAll(now.Add(time.Second)); len(out) != 0 {
+		t.Fatalf("drainAll shipped %d batches with no consumers", len(out))
+	}
+	if got := drops.Load(); got != 16 {
+		t.Fatalf("dropped %d records, want 16", got)
+	}
+	if len(g.perKey) != 0 {
+		t.Fatal("stranded key buffers survived reconciliation")
+	}
+}
+
+// TestGateBroadcastOwnership is the regression test for the broadcast
+// aliasing bug: every consumer must receive its own copy of the batch.
+// Pre-fix, the last consumer was handed the gate's buffer itself, so a
+// record-mutating UDF (or, under pooling, a recycle) corrupted the
+// other consumers' view.
+func TestGateBroadcastOwnership(t *testing.T) {
+	g, _, _ := testGate(model.PatternBroadcast, 1024)
+	g.setDeadline(time.Minute)
+	refs := []*channelRef{{to: &task{}}, {to: &task{}}, {to: &task{}}}
+	for _, r := range refs {
+		g.addConsumer(r)
+	}
+
+	now := time.Now()
+	const n = 8
+	for i := 0; i < n; i++ {
+		g.push(Record{Key: uint64(i), Value: i}, now)
+	}
+	bufPtr := &g.buf[0]
+
+	out := g.drainAll(now.Add(time.Second))
+	if len(out) != len(refs) {
+		t.Fatalf("broadcast produced %d shipments, want %d", len(out), len(refs))
+	}
+	seen := make(map[*Record]bool)
+	for _, s := range out {
+		if len(s.b.items) != n {
+			t.Fatalf("shipment has %d records, want %d", len(s.b.items), n)
+		}
+		head := &s.b.items[0]
+		if head == bufPtr {
+			t.Fatal("a consumer was handed the gate's own buffer (aliasing)")
+		}
+		if seen[head] {
+			t.Fatal("two consumers share a batch backing array")
+		}
+		seen[head] = true
+		for i, rec := range s.b.items {
+			if rec.Value != i {
+				t.Fatalf("record %d has value %v, want %d", i, rec.Value, i)
+			}
+		}
+	}
+	// The gate keeps (and reuses) its buffer across broadcast flushes.
+	if cap(g.buf) == 0 || len(g.buf) != 0 {
+		t.Fatalf("gate buffer not retained empty: len=%d cap=%d", len(g.buf), cap(g.buf))
+	}
+}
+
+// TestGateConcurrentConsumerChurn runs a producer (push/due/drainAll)
+// against a master goroutine adding and removing consumers, under every
+// wiring pattern. It exists to fail under -race if the consumer
+// snapshot, generation counters (rrGen redraw, keyGen reconciliation) or
+// pool hand-off ever grow an unsynchronized access.
+func TestGateConcurrentConsumerChurn(t *testing.T) {
+	patterns := map[string]model.WiringPattern{
+		"roundrobin": model.PatternRoundRobin,
+		"broadcast":  model.PatternBroadcast,
+		"keybased":   model.PatternKeyBased,
+	}
+	for name, pattern := range patterns {
+		pattern := pattern
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			g, _, pool := testGate(pattern, 8)
+			g.setDeadline(200 * time.Microsecond)
+			anchor := &channelRef{to: &task{}}
+			g.addConsumer(anchor) // never removed: push always has a target
+
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // master: churn the consumer set
+				defer wg.Done()
+				churn := make([]*task, 0, 4)
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					if len(churn) < 4 {
+						tt := &task{}
+						churn = append(churn, tt)
+						g.addConsumer(&channelRef{to: tt})
+					} else {
+						g.removeConsumer(churn[0])
+						churn = churn[1:]
+					}
+					if i%8 == 0 {
+						time.Sleep(50 * time.Microsecond)
+					}
+				}
+			}()
+
+			// Producer: single goroutine, as the ownership contract
+			// requires; consumes its own shipments back into the pool
+			// (standing in for the consumer-side recycle).
+			recycle := func(out []shipment) {
+				for _, s := range out {
+					pool.put(s.b.items)
+				}
+			}
+			for i := 0; i < 4000; i++ {
+				now := time.Now()
+				recycle(g.push(Record{Key: uint64(i)}, now))
+				if i%16 == 0 {
+					recycle(g.due(now))
+				}
+			}
+			recycle(g.drainAll(time.Now()))
+			close(done)
+			wg.Wait()
+		})
+	}
+}

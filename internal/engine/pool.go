@@ -1,0 +1,69 @@
+package engine
+
+import "sync"
+
+// batchPool is the execution-wide free list of Record slices, the
+// engine-side counterpart of the simulator's batch pooling (sim/pool.go).
+// Unlike the single-threaded simulator, slices here cross goroutines —
+// detached from a producer's gate at flush, in flight inside a batch,
+// returned by whichever goroutine finishes with them — so the free list
+// is mutex-guarded. One uncontended lock round-trip per batch is noise
+// next to the channel send the batch already pays; what the pool buys is
+// the per-flush slice allocation and its GC pressure.
+//
+// Ownership contract (see DESIGN.md "Engine data plane"):
+//
+//   - A gate owns its buffer slices (buf, perKey values) exclusively;
+//     only the producing task's goroutine touches them.
+//   - takeShared/takeKeyed transfer ownership of the flushed slice to the
+//     shipment's batch. Broadcast shipments each own a pooled copy; the
+//     gate keeps (and re-uses) its buffer.
+//   - Exactly one party returns every shipped slice: the consumer after
+//     handleBatch, the producer when the consumer is dead, or the master
+//     when it drains a crashed task's queue. After put the slice must
+//     not be touched.
+//   - A batch that dies with a panicking UDF is never recycled (the
+//     collector reclaims it); correctness first, reuse second.
+type batchPool struct {
+	mu   sync.Mutex
+	free [][]Record
+}
+
+// maxPooledBatches bounds the free list so a transient backpressure
+// spike cannot pin an arbitrary amount of memory for the rest of the
+// execution.
+const maxPooledBatches = 4096
+
+// get returns an empty batch slice, reusing recycled capacity when
+// available. The zero return is nil: append allocates on first use and
+// the allocation is recovered at recycle time.
+func (p *batchPool) get() []Record {
+	p.mu.Lock()
+	n := len(p.free)
+	if n == 0 {
+		p.mu.Unlock()
+		return nil
+	}
+	b := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	p.mu.Unlock()
+	return b
+}
+
+// put returns a slice whose records have been fully consumed. Records
+// are zeroed first so recycled capacity pins no payloads or trace spans;
+// elements past len were zeroed by an earlier put and are never re-set.
+func (p *batchPool) put(b []Record) {
+	if cap(b) == 0 {
+		return
+	}
+	for i := range b {
+		b[i] = Record{}
+	}
+	p.mu.Lock()
+	if len(p.free) < maxPooledBatches {
+		p.free = append(p.free, b[:0])
+	}
+	p.mu.Unlock()
+}

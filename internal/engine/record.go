@@ -42,7 +42,10 @@ type Record struct {
 }
 
 // batch is the unit shipped between tasks: records that left one
-// producer's output gate together.
+// producer's output gate together. Its items slice is pool-recycled
+// (see pool.go): the receiving consumer owns it exclusively from ship
+// to recycle, and no other party — including the producing gate — may
+// retain a reference after the shipment is handed off.
 type batch struct {
 	items []Record
 	// from identifies the producing channel for QoS attribution.

@@ -41,6 +41,19 @@ type task struct {
 	chanReps  map[model.ChannelID]*qos.ChannelReporter
 	lastFlush time.Time
 
+	// inEdges is the vertex's inbound edge list, snapshotted once so the
+	// per-batch edge resolution never re-allocates it from the graph.
+	inEdges []model.EdgeKey
+	// edgeNames caches EdgeKey.String() per inbound edge for trace hops.
+	edgeNames map[model.EdgeKey]string
+
+	// now is the task's amortized wall clock: refreshed once per
+	// delivered batch, per UDF service completion, per flush tick and per
+	// source emission — never per emitted record. emit and the gates read
+	// it instead of calling time.Now() per record, so its error is
+	// bounded by one UDF service time. Task-goroutine-only state.
+	now time.Time
+
 	// rwPending holds consume times of sampled records awaiting the next
 	// write (read-write task latency).
 	rwPending []time.Time
@@ -71,10 +84,15 @@ func newTask(ex *execution, id model.TaskID, udf UDF, src *SourceSpec, seed int6
 		chanReps: make(map[model.ChannelID]*qos.ChannelReporter),
 	}
 	t.ctx = Context{t: t}
+	t.inEdges = ex.spec.graph.InEdges(id.Vertex)
+	t.edgeNames = make(map[model.EdgeKey]string, len(t.inEdges))
+	for _, ek := range t.inEdges {
+		t.edgeNames[ek] = ek.String()
+	}
 	outs := ex.spec.graph.OutEdges(id.Vertex)
 	t.gates = make([]*gate, len(outs))
 	for pos, ek := range outs {
-		g := newGate(ek, pos, id.Index, ex.spec.graph.Edge(ek).Pattern, ex.cfg.MaxBatchRecords, &ex.dropNoConsumer)
+		g := newGate(ek, pos, id.Index, ex.spec.graph.Edge(ek).Pattern, ex.cfg.MaxBatchRecords, &ex.dropNoConsumer, &ex.pool)
 		switch ex.spec.edgeBatching(ek) {
 		case BatchingFixed:
 			g.setDeadline(noDeadline)
@@ -91,7 +109,8 @@ func newTask(ex *execution, id model.TaskID, udf UDF, src *SourceSpec, seed int6
 }
 
 // emit routes a record into the edgeIdx-th gate, shipping due batches.
-// It runs on the task goroutine and may block under backpressure.
+// It runs on the task goroutine and may block under backpressure. Time
+// comes from the task's amortized clock, not a per-record time.Now().
 func (t *task) emit(edgeIdx int, rec Record) {
 	if edgeIdx < 0 || edgeIdx >= len(t.gates) {
 		return
@@ -99,7 +118,7 @@ func (t *task) emit(edgeIdx int, rec Record) {
 	if rec.span == nil {
 		rec.span = t.curSpan
 	}
-	now := time.Now()
+	now := t.now
 	// A write completes read-write latency measurement.
 	if len(t.rwPending) > 0 {
 		for _, tc := range t.rwPending {
@@ -114,13 +133,15 @@ func (t *task) emit(edgeIdx int, rec Record) {
 // (backpressure). Shipments to draining consumers are dropped by the
 // consumer-side idle exit, never lost while the consumer runs. A
 // consumer that died (crashed, or exited mid-drain) unblocks the
-// producer via its dead channel; those records are counted as lost.
+// producer via its dead channel; those records are counted as lost and
+// their batch — which never left this goroutine — returns to the pool.
 func (t *task) ship(shipments []shipment) {
 	for _, s := range shipments {
 		select {
 		case s.ref.to.in <- s.b:
 		case <-s.ref.to.dead:
 			t.ex.lostRecords.Add(int64(len(s.b.items)))
+			t.ex.pool.put(s.b.items)
 		case <-t.quit:
 			return
 		}
@@ -157,9 +178,14 @@ func (t *task) maybeReport(now time.Time) {
 	}
 }
 
-// handleBatch processes one delivered batch.
+// handleBatch processes one delivered batch and recycles its slice. The
+// wall clock is read once at batch arrival and once per completed UDF
+// call (the completion time is also the next record's arrival time), so
+// the whole loop costs one time.Now() per record instead of three plus
+// one per emission.
 func (t *task) handleBatch(b batch) {
 	now := time.Now()
+	t.now = now
 	// Channel-level QoS: one sample per batch against the oldest record.
 	chID := model.ChannelID{Edge: t.inEdge(b), Producer: b.producer, Consumer: t.id.Index}
 	cr := t.chanReps[chID]
@@ -175,23 +201,27 @@ func (t *task) handleBatch(b batch) {
 		if r := recover(); r != nil {
 			// A panicking UDF kills the record it was processing and the
 			// unprocessed remainder of the batch; count them as lost and
-			// let the supervisor defer in run() handle the crash.
+			// let the supervisor defer in run() handle the crash. The
+			// batch slice dies with them — never recycle a batch whose
+			// consumption did not complete.
 			t.ex.lostRecords.Add(int64(len(b.items) - done))
 			panic(r)
 		}
 	}()
+	cur := now
 	for _, rec := range b.items {
-		t.reporter.RecordArrival(nowSeconds(time.Now()))
-		start := time.Now()
+		t.reporter.RecordArrival(nowSeconds(cur))
 		t.curSpan = rec.span
 		t.udf.Process(&t.ctx, rec)
 		t.curSpan = nil
-		service := time.Since(start)
+		end := time.Now()
+		t.now = end
+		service := end.Sub(cur)
 		t.busyNs.Add(int64(service))
 		t.reporter.RecordService(service.Seconds())
 		if rw {
 			if rec.Sampled && len(t.rwPending) < 64 {
-				t.rwPending = append(t.rwPending, start)
+				t.rwPending = append(t.rwPending, cur)
 			}
 		} else {
 			t.reporter.RecordTaskLatency(service.Seconds())
@@ -201,27 +231,27 @@ func (t *task) handleBatch(b batch) {
 			// separable network transit (in-process channels), then wait
 			// from ship to service start.
 			batchDelay := b.shipped.Sub(b.oldestBuf).Seconds()
-			wait := start.Sub(b.shipped).Seconds()
-			rec.span.Hop(t.id.Vertex, chID.Edge.String(), batchDelay, 0, wait, service.Seconds())
+			wait := cur.Sub(b.shipped).Seconds()
+			rec.span.Hop(t.id.Vertex, t.edgeNames[chID.Edge], batchDelay, 0, wait, service.Seconds())
 			if len(t.gates) == 0 {
-				end := nowSeconds(time.Now())
-				rec.span.Finish(end)
-				t.ex.cfg.Telemetry.ObserveE2E(end, end-rec.span.Start())
+				endS := nowSeconds(end)
+				rec.span.Finish(endS)
+				t.ex.cfg.Telemetry.ObserveE2E(endS, endS-rec.span.Start())
 			}
 		}
 		t.processed.Add(1)
 		done++
+		cur = end
 	}
+	t.ex.pool.put(b.items)
 }
 
 // inEdge reconstructs the job edge a batch arrived on from its edge
-// position at the producer. The producer's vertex is found via the
-// consumer's inbound edges: position pos of the producing vertex's
-// out-edges; since a consumer can receive from several vertices, the
-// batch's edge is identified by matching the consumer vertex.
+// position at the producer, matched against the consumer vertex's
+// snapshotted inbound edge list.
 func (t *task) inEdge(b batch) model.EdgeKey {
-	for _, ek := range t.ex.spec.graph.InEdges(t.id.Vertex) {
-		if t.ex.edgePos[ek] == b.edgePos && ek.Target == t.id.Vertex {
+	for _, ek := range t.inEdges {
+		if t.ex.edgePos[ek] == b.edgePos {
 			return ek
 		}
 	}
@@ -255,10 +285,12 @@ func (t *task) run() {
 		select {
 		case b := <-t.in:
 			t.handleBatch(b)
-			lastItem = time.Now()
+			lastItem = t.now
 		case <-timerC:
+			t.now = time.Now()
 			t.udf.(TimerUDF).OnTimer(&t.ctx)
 		case now := <-ticker.C:
+			t.now = now
 			t.flushDue(now)
 			t.maybeReport(now)
 			if t.draining.Load() && now.Sub(lastItem) > t.ex.cfg.DrainIdle {
@@ -269,7 +301,8 @@ func (t *task) run() {
 					case b := <-t.in:
 						t.handleBatch(b)
 					default:
-						t.drainGates(time.Now())
+						t.now = time.Now()
+						t.drainGates(t.now)
 						return
 					}
 				}
@@ -304,18 +337,21 @@ func (t *task) runSource() {
 		case <-t.quit:
 			return
 		case now := <-ticker.C:
+			t.now = now
 			t.flushDue(now)
 			t.maybeReport(now)
 		case <-timer.C:
 			now := time.Now()
 			elapsed := now.Sub(start).Seconds()
 			if t.draining.Load() {
+				t.now = now
 				t.drainGates(now)
 				return
 			}
 			rate := sched.Rate(elapsed)
 			if rate <= 0 {
 				if elapsed >= sched.Duration() {
+					t.now = now
 					t.drainGates(now)
 					return
 				}
@@ -323,6 +359,7 @@ func (t *task) runSource() {
 				continue
 			}
 			emitStart := time.Now()
+			t.now = emitStart
 			t.reporter.RecordArrival(nowSeconds(emitStart))
 			t.curSpan = t.ex.cfg.Tracer.StartSpan(nowSeconds(emitStart))
 			t.src.Emit(&t.ctx)

@@ -166,16 +166,21 @@ func benchSummaryMerge() (map[string]float64, error) {
 	return map[string]float64{"merged-tasks": float64(vs.Parallelism)}, nil
 }
 
-// RunBenchSuite executes the bench suite sequentially (parallel runs
-// would contend for CPU and distort the timings).
-func RunBenchSuite() (*BenchSuite, error) {
-	suite := &BenchSuite{
+// newBenchSuite stamps an empty suite with the run environment.
+func newBenchSuite() *BenchSuite {
+	return &BenchSuite{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		StartedAt: time.Now().UTC(),
 	}
+}
+
+// RunBenchSuite executes the bench suite sequentially (parallel runs
+// would contend for CPU and distort the timings).
+func RunBenchSuite() (*BenchSuite, error) {
+	suite := newBenchSuite()
 	cases := []struct {
 		name  string
 		iters int

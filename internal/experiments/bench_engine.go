@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"nephelix/internal/engine"
+	"nephelix/internal/model"
+	"nephelix/internal/workload"
+)
+
+// The engine bench suite measures the live runtime's data plane — the
+// produce→batch→ship→consume path of internal/engine — across the three
+// output-batching modes and the three wiring patterns. Unlike the
+// simulator benchmarks these run in wall-clock time: a saturating burst
+// source drives a src→work→sink pipeline for about a second and the
+// suite reports delivered records per second plus whole-run allocation
+// figures, emitted to BENCH_engine.json by the `experiments bench`
+// subcommand.
+
+// EngineBenchCase names one engine data-plane configuration.
+type EngineBenchCase struct {
+	Name     string
+	Pattern  model.WiringPattern
+	Batching engine.EdgeBatching
+}
+
+// EngineBenchCases enumerates batching mode × wiring pattern.
+func EngineBenchCases() []EngineBenchCase {
+	modes := []struct {
+		name string
+		m    engine.EdgeBatching
+	}{
+		{"instant", engine.BatchingInstant},
+		{"fixed", engine.BatchingFixed},
+		{"adaptive", engine.BatchingAdaptive},
+	}
+	patterns := []struct {
+		name string
+		p    model.WiringPattern
+	}{
+		{"rotation", model.PatternRoundRobin},
+		{"broadcast", model.PatternBroadcast},
+		{"keybased", model.PatternKeyBased},
+	}
+	var cases []EngineBenchCase
+	for _, m := range modes {
+		for _, p := range patterns {
+			cases = append(cases, EngineBenchCase{
+				Name:     m.name + "-" + p.name,
+				Pattern:  p.p,
+				Batching: m.m,
+			})
+		}
+	}
+	return cases
+}
+
+// engineBenchBurst is how many records one scheduled source emission
+// pushes: the schedule paces emissions, the burst saturates the gates so
+// backpressure (not the pacing timer) bounds throughput.
+const engineBenchBurst = 64
+
+// RunEngineBench executes one case: a src(1)→work(2)→sink(1) pipeline
+// driven by a bursting source for about a second of wall-clock time.
+// Returned metrics: "records" delivered at the sink, "records/s" of
+// wall time, and "emitted" source records.
+func RunEngineBench(c EngineBenchCase) (map[string]float64, error) {
+	g := model.NewJobGraph()
+	for _, v := range []model.JobVertex{
+		{Name: "src", Parallelism: 1, MinParallelism: 1, MaxParallelism: 1},
+		{Name: "work", Parallelism: 2, MinParallelism: 2, MaxParallelism: 2},
+		{Name: "sink", Parallelism: 1, MinParallelism: 1, MaxParallelism: 1},
+	} {
+		if err := g.AddVertex(v); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.AddEdge("src", "work", c.Pattern); err != nil {
+		return nil, err
+	}
+	if err := g.AddEdge("work", "sink", model.PatternRoundRobin); err != nil {
+		return nil, err
+	}
+	var emitted, received atomic.Int64
+	spec := engine.NewJobSpec(g).
+		SetSource("src", engine.SourceSpec{
+			Schedule: &workload.ConstantSchedule{RatePerSecond: 1000, Length: 1.0},
+			Emit: func(ctx *engine.Context) {
+				n := emitted.Add(int64(engineBenchBurst))
+				for i := 0; i < engineBenchBurst; i++ {
+					ctx.Emit(0, engine.Record{Key: uint64(n) + uint64(i)})
+				}
+			},
+		}).
+		SetUDF("work", func(int) engine.UDF {
+			return engine.UDFFunc(func(ctx *engine.Context, rec engine.Record) {
+				ctx.Emit(0, rec)
+			})
+		}).
+		SetUDF("sink", func(int) engine.UDF {
+			return engine.UDFFunc(func(*engine.Context, engine.Record) {
+				received.Add(1)
+			})
+		}).
+		SetEdgeBatching("src", "work", c.Batching).
+		SetEdgeBatching("work", "sink", c.Batching)
+	if c.Batching == engine.BatchingAdaptive {
+		// Adaptive flushing needs a constraint for the batching controller
+		// to budget deadlines against.
+		seq, err := model.ParseSequence(g, "src->work", "work", "work->sink")
+		if err != nil {
+			return nil, err
+		}
+		spec.AddConstraint(&model.Constraint{
+			Name: "bench", Sequence: seq,
+			Bound: 20 * time.Millisecond, Window: 10 * time.Second,
+		})
+	}
+	start := time.Now()
+	exec, err := engine.New(engine.Config{
+		Seed:                1,
+		MeasurementInterval: 100 * time.Millisecond,
+		AdjustmentInterval:  250 * time.Millisecond,
+	}).Submit(spec, nil)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := exec.Wait(ctx); err != nil {
+		return nil, fmt.Errorf("experiments: engine bench %s: %w", c.Name, err)
+	}
+	wall := time.Since(start).Seconds()
+	recs := float64(received.Load())
+	if recs == 0 {
+		return nil, fmt.Errorf("experiments: engine bench %s delivered nothing", c.Name)
+	}
+	return map[string]float64{
+		"records":   recs,
+		"records/s": recs / wall,
+		"emitted":   float64(emitted.Load()),
+	}, nil
+}
+
+// RunEngineBenchSuite executes every engine case once, sequentially, and
+// derives allocs-per-delivered-record from the whole-run allocation
+// counts (the engine's steady-state data plane is pooled; setup and
+// QoS-interval bookkeeping amortize over the delivered records).
+func RunEngineBenchSuite() (*BenchSuite, error) {
+	suite := newBenchSuite()
+	for _, c := range EngineBenchCases() {
+		c := c
+		m, err := measureBench("EngineThroughput/"+c.Name, 1, func() (map[string]float64, error) {
+			return RunEngineBench(c)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if recs := m.Metrics["records"]; recs > 0 {
+			m.Metrics["allocs/record"] = m.AllocsPerOp / recs
+		}
+		suite.Results = append(suite.Results, m)
+	}
+	return suite, nil
+}

@@ -1,0 +1,29 @@
+package qos
+
+import (
+	"testing"
+
+	"nephelix/internal/model"
+)
+
+// TestReporterFastPathAllocs pins the zero-allocation contract of the
+// per-record reporter methods: the engine's data plane calls
+// RecordArrival, RecordService and RecordTaskLatency once per record and
+// RecordTransfer once per batch, so any allocation here multiplies by
+// the stream rate. Only Flush (once per measurement interval) may
+// allocate.
+func TestReporterFastPathAllocs(t *testing.T) {
+	tr := NewTaskReporter(model.TaskID{Vertex: "v", Index: 0})
+	cr := NewChannelReporter(model.ChannelID{Edge: model.EdgeKey{Source: "a", Target: "b"}})
+
+	now := 0.0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		now += 0.001
+		tr.RecordArrival(now)
+		tr.RecordService(0.0005)
+		tr.RecordTaskLatency(0.0005)
+		cr.RecordTransfer(0.002, 0.001)
+	}); allocs != 0 {
+		t.Errorf("reporter fast path allocates: %.2f allocs/record, want 0", allocs)
+	}
+}
