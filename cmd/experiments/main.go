@@ -1,15 +1,19 @@
 // Command experiments regenerates the paper's evaluation: every measured
 // figure and table (Figure 3, Figure 5, Figure 6, the Section V-A
-// task-hours sweep, Figure 8) plus the fault-injection recovery run,
-// writing CSV time series and printing the shape checks against the
-// paper's reported results.
+// task-hours sweep, Figure 8) plus the fault-injection recovery run and
+// the processing-guarantee sweep, writing CSV time series and printing
+// the shape checks against the paper's reported results.
 //
 // Usage:
 //
-//	experiments [-out DIR] [-paper] [fig3|fig5|fig6|taskhours|fig8|faults|bench|all]
+//	experiments [-out DIR] [-paper] [-guarantee MODE] [-ckpt.interval S]
+//	            [fig3|fig5|fig6|taskhours|fig8|faults|guarantees|bench|all]
 //
 // Without -paper the quick (laptop-scale) variants run; -paper uses the
 // full 130-node topology and 60 s steps (minutes of wall-clock time).
+// -guarantee (at-most-once | at-least-once | exactly-once) and
+// -ckpt.interval apply to the faults experiment; the guarantees
+// subcommand sweeps all modes and intervals regardless.
 // The bench subcommand (not part of all) runs the micro-benchmark suite
 // and writes BENCH_sim.json plus the engine data-plane suite's
 // BENCH_engine.json for CI artifact diffing.
@@ -24,6 +28,7 @@ import (
 	"strconv"
 	"time"
 
+	"nephelix/internal/ckpt"
 	"nephelix/internal/experiments"
 	"nephelix/internal/obs"
 	"nephelix/internal/sim"
@@ -40,6 +45,8 @@ var (
 func main() {
 	out := flag.String("out", "results", "directory for CSV output")
 	paper := flag.Bool("paper", false, "run at full paper scale (slow)")
+	guarantee := flag.String("guarantee", "at-most-once", "processing guarantee for the faults experiment: at-most-once | at-least-once | exactly-once")
+	ckptInterval := flag.Float64("ckpt.interval", 1, "checkpoint interval in virtual seconds (guaranteed faults run)")
 	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /dash, /debug/pprof, /scaler/decisions) on this address")
 	obsLinger := flag.Duration("obs.linger", 0, "keep the introspection server alive this long after the experiments finish (for scraping a completed run)")
 	flag.Parse()
@@ -53,11 +60,16 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("introspection on http://%s\n", *obsAddr)
 	}
+	g, err := ckpt.ParseGuarantee(*guarantee)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
 	}
-	if err := run(*out, *paper, which); err != nil {
+	if err := run(*out, *paper, which, g, *ckptInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -67,7 +79,7 @@ func main() {
 	}
 }
 
-func run(outDir string, paper bool, which string) error {
+func run(outDir string, paper bool, which string, guarantee ckpt.Guarantee, ckptInterval float64) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -113,14 +125,21 @@ func run(outDir string, paper bool, which string) error {
 		failures += n
 	}
 	if all || which == "faults" {
-		n, err := runFaults(outDir, paper)
+		n, err := runFaults(outDir, paper, guarantee, ckptInterval)
 		if err != nil {
 			return err
 		}
 		failures += n
 	}
-	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|bench|all)", which)
+	if all || which == "guarantees" {
+		n, err := runGuarantees(outDir, paper)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" && which != "guarantees" {
+		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|guarantees|bench|all)", which)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d shape check(s) failed", failures)
@@ -237,11 +256,13 @@ func runTaskHours(outDir string, paper bool) (int, error) {
 	return n, nil
 }
 
-func runFaults(outDir string, paper bool) (int, error) {
+func runFaults(outDir string, paper bool, guarantee ckpt.Guarantee, ckptInterval float64) (int, error) {
 	opts := experiments.FaultsQuick()
 	if paper {
 		opts = experiments.FaultsPaper()
 	}
+	opts.Guarantee = guarantee
+	opts.CheckpointInterval = ckptInterval
 	opts.Recorder = recorder
 	opts.Telemetry = telemetry
 	start := time.Now()
@@ -265,6 +286,49 @@ func runFaults(outDir string, paper bool) (int, error) {
 	fmt.Printf("  wrote %s (%d decision events)\n", path, len(recorder.Decisions()))
 
 	tsPath := filepath.Join(outDir, "faults_timeseries.json")
+	tf, err := os.Create(tsPath)
+	if err != nil {
+		return n, err
+	}
+	defer tf.Close()
+	if err := telemetry.WriteJSON(tf); err != nil {
+		return n, err
+	}
+	fmt.Printf("  wrote %s (%d series)\n", tsPath, telemetry.Store().Len())
+	return n, nil
+}
+
+func runGuarantees(outDir string, paper bool) (int, error) {
+	opts := experiments.GuaranteesQuick()
+	if paper {
+		opts = experiments.GuaranteesPaper()
+	}
+	opts.Telemetry = telemetry
+	start := time.Now()
+	res, err := experiments.RunFaultsGuarantees(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Processing guarantees: mode sweep under mid-plateau kill", res.Checks, time.Since(start))
+	path := filepath.Join(outDir, "guarantees.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return n, err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "mode,ckpt_interval_s,emitted,delivered,distinct,lost,holes,replayed,dup_detected,dup_delivered,ckpt_committed,ckpt_aborted,recovery_intervals,recovery_window_s,fulfillment")
+	scale := int64(opts.Scale)
+	for _, r := range res.Runs {
+		fmt.Fprintf(f, "%s,%g,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.1f,%.3f\n",
+			r.Mode, r.CheckpointInterval,
+			r.Emitted*scale, r.Delivered*scale, r.Distinct*scale, r.Lost*scale,
+			r.Holes*scale, r.Replayed*scale, r.DupDetected*scale, r.DupDelivered*scale,
+			r.CheckpointsCommitted, r.CheckpointsAborted,
+			r.RecoveryIntervals, r.RecoveryWindow, r.Fulfillment)
+	}
+	fmt.Printf("  wrote %s (%d runs, kill at t=%.0fs)\n", path, len(res.Runs), res.KillTime)
+
+	tsPath := filepath.Join(outDir, "guarantees_timeseries.json")
 	tf, err := os.Create(tsPath)
 	if err != nil {
 		return n, err

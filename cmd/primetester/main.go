@@ -7,6 +7,8 @@
 //
 //	primetester [-config storm|if|16kib|20ms] [-elastic] [-scale N]
 //	            [-steps N] [-stepdur S] [-bound MS] [-csv FILE] [-seed N]
+//	            [-guarantee at-most-once|at-least-once|exactly-once]
+//	            [-ckpt.interval S]
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"time"
 
 	"nephelix/internal/apps"
+	"nephelix/internal/ckpt"
 	"nephelix/internal/experiments"
 	"nephelix/internal/obs"
 	"nephelix/internal/sim"
@@ -31,18 +34,25 @@ func main() {
 	bound := flag.Int("bound", 20, "latency constraint in milliseconds (for the 20ms config)")
 	csvPath := flag.String("csv", "", "write the time series to this CSV file")
 	seed := flag.Int64("seed", 1, "random seed")
+	guarantee := flag.String("guarantee", "at-most-once", "processing guarantee: at-most-once | at-least-once | exactly-once")
+	ckptInterval := flag.Float64("ckpt.interval", 1, "checkpoint interval in virtual seconds (guaranteed runs)")
 	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /dash, /debug/pprof, /scaler/decisions) on this address")
 	decisionsPath := flag.String("decisions", "", "write the scaler's decision audit trail to this JSONL file")
 	timeseriesPath := flag.String("timeseries", "", "write the telemetry time series and residual stats to this JSON file")
 	flag.Parse()
 
-	if err := run(*config, *elastic, *scale, *steps, *stepdur, *bound, *csvPath, *seed, *obsAddr, *decisionsPath, *timeseriesPath); err != nil {
+	g, err := ckpt.ParseGuarantee(*guarantee)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "primetester:", err)
+		os.Exit(1)
+	}
+	if err := run(*config, *elastic, *scale, *steps, *stepdur, *bound, *csvPath, *seed, *obsAddr, *decisionsPath, *timeseriesPath, g, *ckptInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "primetester:", err)
 		os.Exit(1)
 	}
 }
 
-func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS int, csvPath string, seed int64, obsAddr, decisionsPath, timeseriesPath string) error {
+func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS int, csvPath string, seed int64, obsAddr, decisionsPath, timeseriesPath string, guarantee ckpt.Guarantee, ckptInterval float64) error {
 	var mode sim.BatchMode
 	var bound time.Duration
 	switch config {
@@ -70,9 +80,11 @@ func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS
 		Mode:            mode,
 		ConstraintBound: bound,
 		Elastic:         elastic,
-		WorkerNodes:     130,
-		SlotsPerNode:    5,
-		Seed:            seed,
+		WorkerNodes:        130,
+		SlotsPerNode:       5,
+		Seed:               seed,
+		Guarantee:          guarantee,
+		CheckpointInterval: ckptInterval,
 	}
 	if elastic {
 		base.MinPT, base.MaxPT = 1, 520
@@ -119,6 +131,12 @@ func run(config string, elastic bool, scale, steps int, stepdur float64, boundMS
 	if elastic {
 		fmt.Printf("scale-ups %d, scale-downs %d, peak testers %d\n",
 			res.ScaleUps, res.ScaleDowns, res.PeakParallelism[apps.PTWorker]*scale)
+	}
+	if guarantee.Enabled() {
+		fmt.Printf("guarantee %s: %d checkpoints committed (%d aborted), %d offsets committed, %d replayed\n",
+			guarantee, res.CheckpointsCommitted, res.CheckpointsAborted, res.CommittedOffsets, res.ReplayedItems)
+		fmt.Printf("sinks: %d distinct, %d duplicates detected, %d holes\n",
+			res.SinkDistinct, res.SinkDuplicates, res.SinkHoles)
 	}
 
 	if csvPath != "" {

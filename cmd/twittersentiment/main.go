@@ -6,6 +6,8 @@
 // Usage:
 //
 //	twittersentiment [-scale N] [-duration S] [-csv FILE] [-seed N]
+//	                 [-guarantee at-most-once|at-least-once|exactly-once]
+//	                 [-ckpt.interval S]
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"os"
 
 	"nephelix/internal/apps"
+	"nephelix/internal/ckpt"
 	"nephelix/internal/experiments"
 	"nephelix/internal/obs"
 	"nephelix/internal/sim"
@@ -30,17 +33,26 @@ func main() {
 	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /dash, /debug/pprof, /scaler/decisions) on this address")
 	decisionsPath := flag.String("decisions", "", "write the scaler's decision audit trail to this JSONL file")
 	timeseriesPath := flag.String("timeseries", "", "write the telemetry time series and residual stats to this JSON file")
+	guarantee := flag.String("guarantee", "at-most-once", "processing guarantee: at-most-once | at-least-once | exactly-once")
+	ckptInterval := flag.Float64("ckpt.interval", 1, "checkpoint interval in virtual seconds (guaranteed runs)")
 	flag.Parse()
 
-	if err := run(*scale, *duration, *csvPath, *tracePath, *speedup, *seed, *obsAddr, *decisionsPath, *timeseriesPath); err != nil {
+	g, err := ckpt.ParseGuarantee(*guarantee)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twittersentiment:", err)
+		os.Exit(1)
+	}
+	if err := run(*scale, *duration, *csvPath, *tracePath, *speedup, *seed, *obsAddr, *decisionsPath, *timeseriesPath, g, *ckptInterval); err != nil {
 		fmt.Fprintln(os.Stderr, "twittersentiment:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale int, duration float64, csvPath, tracePath string, speedup float64, seed int64, obsAddr, decisionsPath, timeseriesPath string) error {
+func run(scale int, duration float64, csvPath, tracePath string, speedup float64, seed int64, obsAddr, decisionsPath, timeseriesPath string, guarantee ckpt.Guarantee, ckptInterval float64) error {
 	opts := apps.DefaultTwitterSentimentOptions()
 	opts.Seed = seed
+	opts.Guarantee = guarantee
+	opts.CheckpointInterval = ckptInterval
 	if tracePath != "" {
 		f, err := os.Open(tracePath)
 		if err != nil {
@@ -135,6 +147,10 @@ func run(scale int, duration float64, csvPath, tracePath string, speedup float64
 		res.PeakParallelism[apps.TSFilter]*scale,
 		res.PeakParallelism[apps.TSSentiment]*scale)
 	fmt.Printf("task-hours (paper scale): %.1f\n", res.TaskHours*float64(scale))
+	if guarantee.Enabled() {
+		fmt.Printf("guarantee %s: %d checkpoints committed (%d aborted), %d offsets committed, %d replayed\n",
+			guarantee, res.CheckpointsCommitted, res.CheckpointsAborted, res.CommittedOffsets, res.ReplayedItems)
+	}
 
 	if csvPath != "" {
 		f, err := os.Create(csvPath)

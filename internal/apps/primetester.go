@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"time"
 
+	"nephelix/internal/ckpt"
 	"nephelix/internal/core"
 	"nephelix/internal/model"
 	"nephelix/internal/sim"
@@ -57,6 +58,13 @@ type PrimeTesterOptions struct {
 	Seed               int64
 	// SampleProbability tags source emissions for latency probing.
 	SampleProbability float64
+	// Guarantee selects the processing guarantee (default at-most-once:
+	// no checkpoints, no replay).
+	Guarantee ckpt.Guarantee
+	// CheckpointInterval is the barrier-checkpoint period in virtual
+	// seconds (0 takes the simulator default; only meaningful when
+	// Guarantee is enabled).
+	CheckpointInterval float64
 }
 
 // primeCosts is the calibrated data-plane cost model for the PrimeTester
@@ -231,6 +239,8 @@ func BuildPrimeTester(opts PrimeTesterOptions) (sim.Config, *sim.ProbeSet, error
 		SlotsPerNode:       opts.SlotsPerNode,
 		QueueCapacityItems: opts.QueueCapacityItems,
 		Seed:               opts.Seed,
+		Guarantee:          opts.Guarantee,
+		CheckpointInterval: opts.CheckpointInterval,
 	}
 	return cfg, probes, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"nephelix/internal/ckpt"
 	"nephelix/internal/core"
 	"nephelix/internal/model"
 	"nephelix/internal/sim"
@@ -70,6 +71,14 @@ type TwitterSentimentOptions struct {
 	Seed         int64
 	// SampleProbability tags tweets for latency probing.
 	SampleProbability float64
+	// Guarantee selects the processing guarantee. Note: this job fans
+	// every tweet out twice and the Filter drops cold-topic tweets, so
+	// the sink dedup's hole/duplicate accounting is advisory here — the
+	// checkpoint/replay machinery itself is exercised in full.
+	Guarantee ckpt.Guarantee
+	// CheckpointInterval is the barrier-checkpoint period in virtual
+	// seconds (0 takes the simulator default).
+	CheckpointInterval float64
 }
 
 // DefaultTwitterSentimentOptions returns the paper's evaluation setup
@@ -547,12 +556,14 @@ func BuildTwitterSentiment(opts TwitterSentimentOptions) (sim.Config, *sim.Probe
 			{Source: TSFilter, Target: TSSentiment}:       {Mode: sim.BatchAdaptive},
 			{Source: TSSentiment, Target: TSSink}:         {Mode: sim.BatchAdaptive},
 		},
-		Costs:        twitterCosts(),
-		Elastic:      opts.Elastic,
-		Scaler:       opts.Scaler,
-		WorkerNodes:  opts.WorkerNodes,
-		SlotsPerNode: opts.SlotsPerNode,
-		Seed:         opts.Seed,
+		Costs:              twitterCosts(),
+		Elastic:            opts.Elastic,
+		Scaler:             opts.Scaler,
+		WorkerNodes:        opts.WorkerNodes,
+		SlotsPerNode:       opts.SlotsPerNode,
+		Seed:               opts.Seed,
+		Guarantee:          opts.Guarantee,
+		CheckpointInterval: opts.CheckpointInterval,
 	}
 	return cfg, probes, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nephelix/internal/ckpt"
 	"nephelix/internal/cluster"
 	"nephelix/internal/core"
 	"nephelix/internal/model"
@@ -60,6 +61,28 @@ type Config struct {
 	// RestartBackoffCap bounds the exponential restart delay
 	// (default 1 s).
 	RestartBackoffCap time.Duration
+	// BackoffResetAfter is the stable-run period after which a vertex's
+	// restart backoff resets to base (default AdjustmentInterval), so a
+	// long-lived task that panics rarely doesn't escalate toward the
+	// degradation cap forever. Checked once per adjustment tick, so the
+	// effective resolution is one AdjustmentInterval.
+	BackoffResetAfter time.Duration
+	// Guarantee selects the processing-guarantee level (default
+	// AtMostOnce: crashes lose records, as before). AtLeastOnce enables
+	// source offsets, barrier checkpoints and replay-on-restart;
+	// ExactlyOnce additionally deduplicates at the sinks.
+	Guarantee ckpt.Guarantee
+	// CheckpointInterval paces barrier injection when Guarantee is
+	// enabled (default 250 ms).
+	CheckpointInterval time.Duration
+	// ReplayBufferRecords bounds each source's replay buffer (default
+	// 65536); at the bound the source pauses emission until a checkpoint
+	// commits — backpressure, never loss.
+	ReplayBufferRecords int
+	// CheckpointStore persists committed checkpoints (default: an
+	// in-memory store keeping the last 8). Ignored when Guarantee is
+	// AtMostOnce.
+	CheckpointStore ckpt.Store
 	// Recorder, when set, receives the execution's flight-recorder
 	// events: task lifecycle (start, panic, backoff restart, vertex
 	// degradation), drop counters at shutdown, and one scaling_decision
@@ -115,6 +138,18 @@ func (c Config) withDefaults() Config {
 	if c.RestartBackoffCap <= 0 {
 		c.RestartBackoffCap = time.Second
 	}
+	if c.BackoffResetAfter <= 0 {
+		c.BackoffResetAfter = c.AdjustmentInterval
+	}
+	if c.CheckpointInterval <= 0 {
+		c.CheckpointInterval = 250 * time.Millisecond
+	}
+	if c.ReplayBufferRecords <= 0 {
+		c.ReplayBufferRecords = 1 << 16
+	}
+	if c.Guarantee.Enabled() && c.CheckpointStore == nil {
+		c.CheckpointStore = ckpt.NewMemStore(8)
+	}
 	return c
 }
 
@@ -162,6 +197,22 @@ func (e *Engine) Submit(spec *JobSpec, probes *probe.ProbeSet) (*Execution, erro
 	}
 	ex.controller = qos.NewBatchingController(e.cfg.Scaler.Strategy.Batching)
 	ex.controller.SetElastic(e.cfg.Elastic)
+	ex.guarantee = e.cfg.Guarantee
+	if ex.guarantee.Enabled() {
+		ex.suppressDups = ex.guarantee.Dedup()
+		ex.ckptStore = e.cfg.CheckpointStore
+		ex.coord = newCkptCoordinator()
+		ex.srcLogs = make(map[int32]*sourceLog)
+		ex.orphanLogs = make(map[string][]*sourceLog)
+		// Sink vertices (no out-edges) each get one dedup table, shared by
+		// all their tasks; must exist before bootstrap creates tasks.
+		ex.dedups = make(map[string]*sinkDedup)
+		for _, jv := range spec.graph.Vertices() {
+			if len(spec.graph.OutEdges(jv.Name)) == 0 {
+				ex.dedups[jv.Name] = newSinkDedup()
+			}
+		}
+	}
 	if e.cfg.Elastic {
 		if len(spec.constraints) == 0 {
 			return nil, fmt.Errorf("engine: elastic execution needs at least one constraint")
@@ -176,6 +227,7 @@ func (e *Engine) Submit(spec *JobSpec, probes *probe.ProbeSet) (*Execution, erro
 		return nil, err
 	}
 	ex.start = time.Now()
+	ex.lastCommit = ex.start
 	ex.meter.Advance(0, 0, 0)
 	ex.launchAll()
 	go ex.masterLoop()
@@ -258,6 +310,33 @@ type execution struct {
 	taskFailures atomic.Int64
 	taskRestarts atomic.Int64
 	lostRecords  atomic.Int64
+
+	// Processing guarantees (nil/zero when cfg.Guarantee is AtMostOnce).
+	// guarantee and suppressDups are immutable after Submit; coord owns the
+	// in-flight checkpoint; topoGen counts topology changes so a commit
+	// racing churn is detected and discarded.
+	guarantee    ckpt.Guarantee
+	suppressDups bool
+	ckptStore    ckpt.Store
+	coord        *ckptCoordinator
+	topoGen      atomic.Int64
+	// Master-loop-only checkpoint state.
+	ckptSeq      int64
+	lastCommit   time.Time
+	lastDupCount int64
+	// srcMu guards the source-log registry; leaf lock under ex.mu.
+	srcMu      sync.Mutex
+	srcLogs    map[int32]*sourceLog
+	orphanLogs map[string][]*sourceLog
+	nextSrcID  int32
+	// dedups maps sink vertex → shared dedup table (immutable map after
+	// Submit; the tables themselves are mutex-guarded).
+	dedups map[string]*sinkDedup
+
+	checkpointsCommitted atomic.Int64
+	checkpointsAborted   atomic.Int64
+	replayedRecords      atomic.Int64
+	lingerTimeouts       atomic.Int64
 	// dropNoConsumer counts records dropped because a gate had no
 	// consumers; gates hold a pointer to it (they have no execution
 	// back-pointer). Zero in healthy executions.
@@ -484,6 +563,14 @@ func (ex *execution) masterLoop() {
 		defer record.Stop()
 		recordC = record.C
 	}
+	var ckptC <-chan time.Time
+	var ckptDone <-chan ckptResult
+	if ex.guarantee.Enabled() {
+		ckptTicker := time.NewTicker(ex.cfg.CheckpointInterval)
+		defer ckptTicker.Stop()
+		ckptC = ckptTicker.C
+		ckptDone = ex.coord.done
+	}
 
 	var lastProcessed int64
 	stableRounds := 0
@@ -516,6 +603,12 @@ func (ex *execution) masterLoop() {
 			ex.adjustTick()
 		case <-recordC:
 			ex.recordTick()
+		case <-ckptC:
+			if !stopping {
+				ex.startCheckpoint()
+			}
+		case res := <-ckptDone:
+			ex.commitCheckpoint(res)
 		case <-quiesce.C:
 			if !stopping {
 				continue
@@ -543,6 +636,143 @@ func (ex *execution) masterLoop() {
 		if !stopping && ex.sourcesLeft.Load() == 0 && ex.pendingRecovery.Load() == 0 {
 			stopping = true
 		}
+	}
+}
+
+// startCheckpoint injects one barrier checkpoint at the sources (master
+// loop only). Injection needs a quiet topology: no crashed task awaiting
+// restart, no draining task, at least one live source — otherwise this
+// tick is skipped and the next one retries. A predecessor still in
+// flight is superseded first (its alignment counts are stale anyway if
+// it has not completed within a full interval).
+func (ex *execution) startCheckpoint() {
+	if ex.pendingRecovery.Load() != 0 {
+		return
+	}
+	if id := ex.coord.inFlight(); id != 0 {
+		ex.abortCheckpoint(id, "superseded by next interval")
+	}
+	ex.mu.Lock()
+	var sources []*task
+	expect := make(map[*task]int)
+	pending := 0
+	for _, name := range ex.order {
+		for _, t := range ex.vertices[name].tasks {
+			if t.draining.Load() {
+				ex.mu.Unlock()
+				return
+			}
+			if t.src != nil {
+				sources = append(sources, t)
+				pending++
+				continue
+			}
+			// A worker aligns one barrier per live upstream producer task,
+			// on every inbound edge (barriers broadcast to all consumers
+			// regardless of wiring pattern).
+			exp := 0
+			for _, ek := range ex.spec.graph.InEdges(name) {
+				exp += int(ex.vertices[ek.Source].count.Load())
+			}
+			expect[t] = exp
+			pending++
+		}
+	}
+	if len(sources) == 0 {
+		ex.mu.Unlock()
+		return
+	}
+	ex.ckptSeq++
+	id := ex.ckptSeq
+	ex.coord.begin(id, ex.topoGen.Load(), expect, pending)
+	for _, t := range sources {
+		t.barrierReq.Store(id)
+	}
+	ex.mu.Unlock()
+	ex.recordLifecycle(obs.KindCheckpointStart, obs.Lifecycle{CheckpointID: id})
+}
+
+// commitCheckpoint finalizes a fully-acked checkpoint (master loop
+// only): validate the topology generation, persist the source offsets,
+// then prune replay buffers and dedup windows up to the committed
+// watermarks. Persist-then-prune: a crash between the two replays a
+// committed suffix — duplicates, which the guarantee ladder absorbs —
+// whereas the reverse order could lose records.
+func (ex *execution) commitCheckpoint(res ckptResult) {
+	now := time.Since(ex.start).Seconds()
+	dur := time.Since(res.started).Seconds()
+	if res.gen != ex.topoGen.Load() {
+		// The topology changed while the final acks were in flight: the
+		// barrier cut may straddle rewired channels, so discard it.
+		ex.checkpointsAborted.Add(1)
+		ex.recordLifecycle(obs.KindCheckpointAbort, obs.Lifecycle{
+			CheckpointID: res.id, Reason: "topology changed during alignment",
+		})
+		ex.cfg.Telemetry.ObserveCheckpoint(now, dur, 0, res.maxStall.Seconds(), false)
+		return
+	}
+	ck := ckpt.Checkpoint{
+		ID:            res.id,
+		At:            now,
+		SourceOffsets: make(map[string]uint64, len(res.offsets)),
+		Emitted:       ex.emitted.Load(),
+		LostRecords:   ex.lostRecords.Load(),
+	}
+	ex.srcMu.Lock()
+	for srcID, off := range res.offsets {
+		if l := ex.srcLogs[srcID]; l != nil {
+			ck.SourceOffsets[l.name] = off
+		}
+	}
+	ex.srcMu.Unlock()
+	if err := ex.ckptStore.Save(ck); err != nil {
+		ex.checkpointsAborted.Add(1)
+		ex.recordLifecycle(obs.KindCheckpointAbort, obs.Lifecycle{
+			CheckpointID: res.id, Reason: "store: " + err.Error(),
+		})
+		ex.cfg.Telemetry.ObserveCheckpoint(now, dur, 0, res.maxStall.Seconds(), false)
+		return
+	}
+	ex.srcMu.Lock()
+	for srcID, off := range res.offsets {
+		if l := ex.srcLogs[srcID]; l != nil {
+			l.commitTo(off)
+		}
+	}
+	ex.srcMu.Unlock()
+	for _, d := range ex.dedups {
+		d.pruneAll(res.offsets)
+	}
+	ex.checkpointsCommitted.Add(1)
+	interval := time.Since(ex.lastCommit).Seconds()
+	ex.lastCommit = time.Now()
+	ex.cfg.Telemetry.ObserveCheckpoint(now, dur, interval, res.maxStall.Seconds(), true)
+	ex.recordLifecycle(obs.KindCheckpointCommit, obs.Lifecycle{
+		CheckpointID: res.id, DurationSeconds: dur, CommittedOffsets: ck.TotalOffsets(),
+	})
+}
+
+// abortCheckpoint discards in-flight checkpoint id (master loop only).
+func (ex *execution) abortCheckpoint(id int64, reason string) {
+	if !ex.coord.abort(id) {
+		return
+	}
+	ex.checkpointsAborted.Add(1)
+	ex.recordLifecycle(obs.KindCheckpointAbort, obs.Lifecycle{CheckpointID: id, Reason: reason})
+	ex.cfg.Telemetry.ObserveCheckpoint(time.Since(ex.start).Seconds(), 0, 0, 0, false)
+}
+
+// noteChurn records a topology change (master loop only): the
+// generation bump invalidates any checkpoint begun before it — an
+// in-flight one is aborted now, a completed-but-uncommitted one is
+// discarded by commitCheckpoint's generation check.
+func (ex *execution) noteChurn(reason string) {
+	if !ex.guarantee.Enabled() {
+		return
+	}
+	ex.topoGen.Add(1)
+	if id := ex.coord.inFlight(); id != 0 {
+		ex.abortCheckpoint(id, reason)
 	}
 }
 
@@ -577,6 +807,13 @@ func (ex *execution) handleTaskFailure(f taskFailure, stopping bool) {
 		}
 	}
 	ex.mu.Unlock()
+	ex.noteChurn("task failure")
+	if f.t.srcLog != nil {
+		// Park the dead source's offset log for its replacement, which
+		// replays the uncommitted suffix (harmless while stopping: the log
+		// is simply never reattached).
+		ex.orphanSourceLog(f.t.id.Vertex, f.t.srcLog)
+	}
 	// Whatever was queued for the dead task is gone with it; the batch
 	// slices never reached a consumer, so the master recycles them.
 	for {
@@ -655,6 +892,15 @@ func (ex *execution) restartTask(vertex string, stopping bool) {
 	}
 	ex.taskRestarts.Add(1)
 	ex.launch(t)
+	ex.noteChurn("restart rewired topology")
+	if ex.guarantee.Enabled() {
+		// At-least-once recovery: every source replays its uncommitted
+		// suffix, re-covering whatever died queued at or in flight to the
+		// crashed task. Flags are set before pendingRecovery drops so no
+		// barrier can be injected ahead of the replays (sources service
+		// replay requests before barrier requests).
+		ex.requestReplayAll()
+	}
 	ex.pendingRecovery.Add(-1)
 }
 
@@ -765,14 +1011,23 @@ func (ex *execution) adjustTick() {
 	summary := qos.MergePartials(par, ex.manager.PartialSummary())
 	ex.lastSummary.Store(summary)
 
-	// Reset-on-success: a vertex that survived a full adjustment interval
+	// Reset-on-success: a vertex that stayed up for BackoffResetAfter
 	// since its last crash earns its base backoff back (adjustTick runs
 	// on the master loop, same goroutine as the supervisors).
 	for _, sup := range ex.supervisors {
 		if !sup.degraded && !sup.lastFailure.IsZero() &&
-			time.Since(sup.lastFailure) >= ex.cfg.AdjustmentInterval {
+			time.Since(sup.lastFailure) >= ex.cfg.BackoffResetAfter {
 			sup.backoff.Reset()
 		}
+	}
+
+	if ex.guarantee.Enabled() {
+		// Push the interval's suppressed-duplicate delta to telemetry.
+		_, dups, _ := ex.sinkStats()
+		if d := dups - ex.lastDupCount; d > 0 {
+			ex.cfg.Telemetry.AddDeduped(time.Since(ex.start).Seconds(), d)
+		}
+		ex.lastDupCount = dups
 	}
 
 	if len(ex.spec.constraints) > 0 {
@@ -840,6 +1095,7 @@ func (ex *execution) scaleUp(vertex string, n int) {
 		}
 		ex.wireTaskLocked(t)
 		ex.launch(t)
+		ex.noteChurn("scale-up")
 	}
 }
 
@@ -873,6 +1129,7 @@ func (ex *execution) scaleDown(vertex string, n int) {
 			}
 		}
 		t.draining.Store(true)
+		ex.noteChurn("scale-down")
 	}
 	vs.refreshCount()
 }
@@ -1000,6 +1257,57 @@ func (e *Execution) Rows() []Row {
 	out := make([]Row, len(e.ex.rows))
 	copy(out, e.ex.rows)
 	return out
+}
+
+// Guarantee returns the execution's processing-guarantee level.
+func (e *Execution) Guarantee() ckpt.Guarantee { return e.ex.guarantee }
+
+// Checkpoints returns how many barrier checkpoints committed and how
+// many aborted (superseded, topology churn, or store failure).
+func (e *Execution) Checkpoints() (committed, aborted int64) {
+	return e.ex.checkpointsCommitted.Load(), e.ex.checkpointsAborted.Load()
+}
+
+// ReplayedRecords returns how many buffered records sources re-emitted
+// during recoveries (each replay round counts its full uncommitted
+// suffix, so one record can be counted across several rounds).
+func (e *Execution) ReplayedRecords() int64 { return e.ex.replayedRecords.Load() }
+
+// SourceRecords returns the number of distinct offsets sources ever
+// assigned — the denominator for loss accounting under guarantees
+// (replays re-emit existing offsets and do not move it). Zero when
+// guarantees are disabled.
+func (e *Execution) SourceRecords() int64 { return e.ex.sourceRecords() }
+
+// SinkDeliveries returns the sink-side dedup accounting: distinct
+// (source, offset) pairs delivered, duplicate deliveries observed
+// (suppressed before the UDF under ExactlyOnce, delivered under
+// AtLeastOnce), and holes — offsets a checkpoint committed that never
+// reached a sink, i.e. actual loss under guarantees. All zero when
+// guarantees are disabled.
+func (e *Execution) SinkDeliveries() (distinct, dups, holes int64) {
+	return e.ex.sinkStats()
+}
+
+// ReplayStalls returns how many emissions sources deferred because the
+// replay buffer was at capacity (backpressure, not loss).
+func (e *Execution) ReplayStalls() int64 { return e.ex.replayStalls() }
+
+// LingerTimeouts returns how many exhausted sources gave up waiting for
+// a final checkpoint to commit their replay buffer; non-zero means the
+// tail of the stream was never covered by a checkpoint.
+func (e *Execution) LingerTimeouts() int64 { return e.ex.lingerTimeouts.Load() }
+
+// LastCheckpoint returns the most recently committed checkpoint, if any.
+func (e *Execution) LastCheckpoint() (ckpt.Checkpoint, bool) {
+	if e.ex.ckptStore == nil {
+		return ckpt.Checkpoint{}, false
+	}
+	ck, ok, err := e.ex.ckptStore.Latest()
+	if err != nil {
+		return ckpt.Checkpoint{}, false
+	}
+	return ck, ok
 }
 
 // CPUUtilization returns the mean task CPU (UDF) utilization so far:

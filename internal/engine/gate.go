@@ -312,6 +312,24 @@ func (g *gate) due(now time.Time) []shipment {
 	return out
 }
 
+// barrierShipments returns one barrier batch addressed to every
+// current consumer — all of them regardless of wiring pattern, because
+// alignment counts producers, not partitions. The caller must drain the
+// gate first so buffered pre-barrier records precede the marker in
+// channel FIFO order. Like due, the returned slice is gate-owned
+// scratch, valid until the next gate call.
+func (g *gate) barrierShipments(id int64, now time.Time) []shipment {
+	out := g.out[:0]
+	for _, ref := range g.snapshot() {
+		out = append(out, shipment{ref: ref, b: batch{
+			producer: g.producer, edgePos: g.pos, barrier: id,
+			oldestBuf: now, shipped: now,
+		}})
+	}
+	g.out = out
+	return out
+}
+
 // drainAll force-flushes everything buffered (task shutdown). Like due,
 // the returned slice is gate-owned scratch.
 func (g *gate) drainAll(now time.Time) []shipment {

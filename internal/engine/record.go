@@ -39,6 +39,15 @@ type Record struct {
 	// from a head-sampled emission and tracing is on). Records emitted
 	// while processing a traced record inherit it.
 	span *obs.Span
+
+	// srcID and offset are the record's lineage under processing
+	// guarantees: the stable source-partition id that emitted it (0 =
+	// untracked) and its per-source sequence number. Value fields, so
+	// offset tagging costs no allocation; records emitted while
+	// processing a tracked record inherit the lineage (emit), which is
+	// how 1:1 pipelines carry offsets to the dedup sinks.
+	srcID  int32
+	offset uint64
 }
 
 // batch is the unit shipped between tasks: records that left one
@@ -53,4 +62,9 @@ type batch struct {
 	edgePos   int
 	oldestBuf time.Time
 	shipped   time.Time
+	// barrier, when non-zero, marks this batch as a checkpoint barrier
+	// with that id: items is nil, the batch rides the same channels as
+	// data (per-producer FIFO is what makes alignment a consistent cut),
+	// and consumers align instead of processing (task.onBarrier).
+	barrier int64
 }

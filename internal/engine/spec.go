@@ -32,6 +32,16 @@ func (c *Context) Emit(edgeIdx int, rec Record) {
 	c.t.emit(edgeIdx, rec)
 }
 
+// Origin returns the lineage of the record currently being processed
+// under processing guarantees: the source partition that emitted its
+// ancestor (0 = untracked, e.g. guarantees disabled or a timer
+// emission) and the per-source offset. Records emitted during Process
+// inherit this lineage automatically; Origin exposes it to UDFs that
+// want offset-aware side effects.
+func (c *Context) Origin() (source int32, offset uint64) {
+	return c.t.curSrcID, c.t.curOffset
+}
+
 // UDF is a user-defined function executed by each task of a vertex. One
 // instance exists per task, so implementations may keep per-task state;
 // the engine serializes all calls on the owning task goroutine.

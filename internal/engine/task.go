@@ -63,6 +63,32 @@ type task struct {
 	// Task-goroutine-only state.
 	curSpan *obs.Span
 
+	// Processing-guarantee state (nil / zero when Config.Guarantee is
+	// AtMostOnce). srcLog is the source partition's offset authority and
+	// replay buffer; dedup is the sink vertex's shared dedup table.
+	srcLog *sourceLog
+	dedup  *sinkDedup
+	// barrierReq asks a source to inject the barrier with that id
+	// (master-written, source-goroutine-consumed).
+	barrierReq atomic.Int64
+	// curSrcID/curOffset carry the lineage of the record currently being
+	// processed so emitted descendants inherit it (task-goroutine-only,
+	// cleared after each Process call).
+	curSrcID  int32
+	curOffset uint64
+	// Barrier-alignment state (task-goroutine-only): alignSeen barriers
+	// of alignID arrived; alignDone is the last id fully aligned and
+	// forwarded.
+	alignID    int64
+	alignSeen  int
+	alignDone  int64
+	alignStart time.Time
+	// replaying marks log re-emission so emit skips re-stamping.
+	replaying     bool
+	replayScratch []logEntry
+	// lingerStart bounds the post-schedule wait for a final commit.
+	lingerStart time.Time
+
 	// busyNs integrates UDF time for utilization reporting.
 	busyNs atomic.Int64
 
@@ -105,6 +131,13 @@ func newTask(ex *execution, id model.TaskID, udf UDF, src *SourceSpec, seed int6
 		}
 		t.gates[pos] = g
 	}
+	if ex.guarantee.Enabled() {
+		if src != nil {
+			t.srcLog = ex.takeSourceLog(id.Vertex)
+		} else if len(t.gates) == 0 {
+			t.dedup = ex.dedups[id.Vertex]
+		}
+	}
 	return t
 }
 
@@ -117,6 +150,19 @@ func (t *task) emit(edgeIdx int, rec Record) {
 	}
 	if rec.span == nil {
 		rec.span = t.curSpan
+	}
+	if t.srcLog != nil {
+		if !t.replaying {
+			// Fresh source emission: assign the next offset and buffer the
+			// record for replay. Replayed records keep their original
+			// lineage and are not re-logged.
+			t.srcLog.stamp(&rec, int32(edgeIdx))
+		}
+	} else if rec.srcID == 0 {
+		// Worker emission: descendants inherit the lineage of the record
+		// being processed (zero outside Process, e.g. timer emissions,
+		// which are genuinely new data and stay untracked).
+		rec.srcID, rec.offset = t.curSrcID, t.curOffset
 	}
 	now := t.now
 	// A write completes read-write latency measurement.
@@ -210,10 +256,20 @@ func (t *task) handleBatch(b batch) {
 	}()
 	cur := now
 	for _, rec := range b.items {
+		if t.dedup != nil && rec.srcID != 0 && !t.dedup.admit(rec.srcID, rec.offset) && t.ex.suppressDups {
+			// Replay duplicate under exactly-once: suppressed before the
+			// UDF sees it, but still counted for quiescence detection and
+			// the panic-remainder accounting.
+			t.processed.Add(1)
+			done++
+			continue
+		}
 		t.reporter.RecordArrival(nowSeconds(cur))
 		t.curSpan = rec.span
+		t.curSrcID, t.curOffset = rec.srcID, rec.offset
 		t.udf.Process(&t.ctx, rec)
 		t.curSpan = nil
+		t.curSrcID, t.curOffset = 0, 0
 		end := time.Now()
 		t.now = end
 		service := end.Sub(cur)
@@ -284,6 +340,10 @@ func (t *task) run() {
 	for {
 		select {
 		case b := <-t.in:
+			if b.barrier != 0 {
+				t.onBarrier(b)
+				continue
+			}
 			t.handleBatch(b)
 			lastItem = t.now
 		case <-timerC:
@@ -295,11 +355,15 @@ func (t *task) run() {
 			t.maybeReport(now)
 			if t.draining.Load() && now.Sub(lastItem) > t.ex.cfg.DrainIdle {
 				// Drain leftovers that raced the idle check, flush gates,
-				// and exit.
+				// and exit. Stray barriers are dropped: a draining task is
+				// outside the barrier flow (the master pauses injection
+				// while any task drains).
 				for {
 					select {
 					case b := <-t.in:
-						t.handleBatch(b)
+						if b.barrier == 0 {
+							t.handleBatch(b)
+						}
 					default:
 						t.now = time.Now()
 						t.drainGates(t.now)
@@ -338,6 +402,7 @@ func (t *task) runSource() {
 			return
 		case now := <-ticker.C:
 			t.now = now
+			t.serviceGuarantees(now)
 			t.flushDue(now)
 			t.maybeReport(now)
 		case <-timer.C:
@@ -352,10 +417,25 @@ func (t *task) runSource() {
 			if rate <= 0 {
 				if elapsed >= sched.Duration() {
 					t.now = now
+					if t.lingerForCommit(now) {
+						// Uncommitted replay buffer: stay alive (servicing
+						// barriers and replays on the flush ticker) until a
+						// checkpoint commits it, so a late downstream crash
+						// can still be replayed.
+						timer.Reset(t.ex.cfg.FlushTick)
+						continue
+					}
 					t.drainGates(now)
 					return
 				}
 				timer.Reset(50 * time.Millisecond)
+				continue
+			}
+			if t.srcLog != nil && t.srcLog.full() {
+				// Replay buffer at capacity: pause emission until a commit
+				// prunes it — backpressure, never loss.
+				t.srcLog.stalls.Add(1)
+				timer.Reset(t.ex.cfg.FlushTick)
 				continue
 			}
 			emitStart := time.Now()
@@ -388,6 +468,108 @@ func (t *task) runSource() {
 			}
 		}
 	}
+}
+
+// onBarrier aligns one inbound checkpoint barrier (worker goroutine).
+// Counting alignment: the task forwards the barrier once markers from
+// every live upstream producer arrived, without blocking any channel
+// (at-least-once alignment — replay duplicates are the dedup sinks'
+// job). Expected counts come from the coordinator, which arms them at
+// injection; barriers of superseded checkpoints simply never complete.
+func (t *task) onBarrier(b batch) {
+	id := b.barrier
+	if id == t.alignDone {
+		return // late marker of an already-forwarded barrier
+	}
+	if id != t.alignID {
+		t.alignID = id
+		t.alignSeen = 0
+		t.alignStart = time.Now()
+	}
+	t.alignSeen++
+	exp := t.ex.coord.expected(id, t)
+	if exp < 0 || t.alignSeen < exp {
+		return
+	}
+	now := time.Now()
+	t.now = now
+	t.alignDone = id
+	// Flush buffered pre-barrier output before forwarding so the marker
+	// stays behind everything this task derived from pre-barrier input.
+	t.drainGates(now)
+	t.forwardBarrier(id, now)
+	t.ex.coord.ackWorker(id, t, now.Sub(t.alignStart))
+}
+
+// forwardBarrier ships the barrier to every consumer of every out-gate.
+func (t *task) forwardBarrier(id int64, now time.Time) {
+	for _, g := range t.gates {
+		t.ship(g.barrierShipments(id, now))
+	}
+}
+
+// serviceGuarantees handles a source's pending replay and barrier
+// requests (source goroutine, flush tick). Replay runs first: a barrier
+// injected after a recovery must trail the re-emitted records, so the
+// commit's "everything below the watermark was delivered" claim covers
+// them.
+func (t *task) serviceGuarantees(now time.Time) {
+	if t.srcLog == nil {
+		return
+	}
+	if t.srcLog.replayReq.Swap(0) != 0 {
+		t.replayLog(now)
+	}
+	if id := t.barrierReq.Swap(0); id != 0 {
+		t.drainGates(now)
+		t.forwardBarrier(id, now)
+		t.ex.coord.ackSource(id, t.srcLog.id, t.srcLog.nextOffset())
+	}
+}
+
+// replayLog re-emits the log's uncommitted suffix through the gates
+// with the original offsets (source goroutine). Downstream this looks
+// like fresh traffic; sinks dedup on (source, offset).
+func (t *task) replayLog(now time.Time) {
+	t.replayScratch = t.srcLog.copyUncommitted(t.replayScratch[:0])
+	n := len(t.replayScratch)
+	if n == 0 {
+		return
+	}
+	t.replaying = true
+	for i := range t.replayScratch {
+		t.emit(int(t.replayScratch[i].edge), t.replayScratch[i].rec)
+		t.replayScratch[i] = logEntry{} // drop payload references
+	}
+	t.replaying = false
+	t.ex.replayedRecords.Add(int64(n))
+	t.ex.recordLifecycle(obs.KindReplay, obs.Lifecycle{
+		Vertex: t.id.Vertex, Task: t.id.String(), CommittedOffsets: uint64(n),
+	})
+	t.ex.cfg.Telemetry.AddReplayed(nowSeconds(now), int64(n))
+}
+
+// lingerForCommit reports whether an exhausted source should keep
+// running so a final checkpoint can commit its replay buffer — records
+// are only safe from a downstream crash once committed. Bounded so a
+// pipeline that can no longer commit (e.g. a degraded vertex) cannot
+// hang shutdown forever.
+func (t *task) lingerForCommit(now time.Time) bool {
+	if t.srcLog == nil || t.srcLog.uncommitted() == 0 {
+		return false
+	}
+	if t.lingerStart.IsZero() {
+		t.lingerStart = now
+	}
+	cap := 10 * t.ex.cfg.CheckpointInterval
+	if cap < 2*time.Second {
+		cap = 2 * time.Second
+	}
+	if now.Sub(t.lingerStart) > cap {
+		t.ex.lingerTimeouts.Add(1)
+		return false
+	}
+	return true
 }
 
 // Sample reports whether the next source emission should be tagged for

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"nephelix/internal/ckpt"
 )
 
 // These tests run every experiment at its quick (laptop) scale and assert
@@ -210,5 +212,45 @@ func TestPredictionQuality(t *testing.T) {
 		if s.Predicted < 0 || s.Measured < 0 {
 			t.Errorf("negative sample: %+v", s)
 		}
+	}
+}
+
+func TestFaultsGuaranteesSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment; skipped in -short mode")
+	}
+	opts := GuaranteesQuick()
+	opts.Intervals = []float64{1} // one interval keeps the test fast
+	res, err := RunFaultsGuarantees(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllPass(t, res.Checks)
+	if len(res.Runs) != 3 {
+		t.Fatalf("got %d runs, want 3 (one per mode)", len(res.Runs))
+	}
+	for _, r := range res.Runs[1:] {
+		if r.Lost != 0 || r.Holes != 0 {
+			t.Errorf("%s: lost %d, holes %d, want 0/0", r.Mode, r.Lost, r.Holes)
+		}
+	}
+}
+
+func TestFaultsWithGuarantee(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment; skipped in -short mode")
+	}
+	opts := FaultsQuick()
+	opts.Guarantee = ckpt.ExactlyOnce
+	res, err := RunFaults(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireAllPass(t, res.Checks)
+	if res.SinkHoles != 0 {
+		t.Errorf("SinkHoles = %d, want 0", res.SinkHoles)
+	}
+	if res.ReplayedItems == 0 {
+		t.Error("no items replayed despite supervised respawn")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nephelix/internal/apps"
+	"nephelix/internal/ckpt"
 	"nephelix/internal/obs"
 	"nephelix/internal/sim"
 	"nephelix/internal/workload"
@@ -30,6 +31,15 @@ type FaultsOptions struct {
 	// kill within which a fulfilled interval must occur (default 6).
 	RecoveryBudget int
 	Seed           int64
+	// Guarantee runs the experiment under a processing guarantee: the
+	// kill plan gains supervised respawn (the engine supervisor's
+	// restart-and-replay), and the checks additionally assert that no
+	// record covered by a committed checkpoint is lost.
+	Guarantee ckpt.Guarantee
+	// CheckpointInterval is the barrier-checkpoint period in virtual
+	// seconds (0 takes the simulator default; only used when Guarantee
+	// is enabled).
+	CheckpointInterval float64
 	// Recorder, when set, receives the run's scaling-decision audit
 	// trail (exportable as JSONL).
 	Recorder *obs.Recorder
@@ -73,6 +83,14 @@ type FaultsResult struct {
 	FinalParallelism   int
 	ScaleUps           int
 	ScaleDowns         int
+
+	// Guarantee accounting (zero unless Options.Guarantee is enabled).
+	CheckpointsCommitted int
+	CheckpointsAborted   int
+	ReplayedItems        int64
+	SinkDistinct         int64
+	SinkDuplicates       int64
+	SinkHoles            int64
 
 	Checks CheckList
 }
@@ -127,6 +145,14 @@ func RunFaults(opts FaultsOptions) (*FaultsResult, error) {
 			Fraction: opts.KillFraction,
 		}},
 	}
+	if opts.Guarantee.Enabled() {
+		// A guarantee needs the supervisor's restart-and-replay: elastic
+		// scale-up restores capacity but does not replay lost records.
+		cfg.Faults.Respawn = true
+		cfg.Faults.RestartDelay = 1
+		cfg.Guarantee = opts.Guarantee
+		cfg.CheckpointInterval = opts.CheckpointInterval
+	}
 	cfg.Recorder = opts.Recorder
 	cfg.Tracer = opts.Tracer
 	cfg.Telemetry = opts.Telemetry
@@ -177,6 +203,12 @@ func RunFaults(opts FaultsOptions) (*FaultsResult, error) {
 	res.FinalParallelism = out.FinalParallelism[apps.PTWorker] * opts.Scale
 	res.ScaleUps = out.ScaleUps
 	res.ScaleDowns = out.ScaleDowns
+	res.CheckpointsCommitted = out.CheckpointsCommitted
+	res.CheckpointsAborted = out.CheckpointsAborted
+	res.ReplayedItems = out.ReplayedItems
+	res.SinkDistinct = out.SinkDistinct
+	res.SinkDuplicates = out.SinkDuplicates
+	res.SinkHoles = out.SinkHoles
 
 	res.Checks = faultsChecks(res)
 	return res, nil
@@ -201,6 +233,13 @@ func faultsChecks(res *FaultsResult) CheckList {
 		"sink throughput positive in every post-kill row",
 		deliveredAfterKill(res),
 		deliveredAfterKill(res) == "yes")
+	if res.Options.Guarantee.Enabled() {
+		checks.Add("no committed record lost",
+			fmt.Sprintf("%s: zero holes below committed checkpoint watermarks", res.Options.Guarantee),
+			fmt.Sprintf("%d holes (%d checkpoints committed, %d replayed)",
+				res.SinkHoles, res.CheckpointsCommitted, res.ReplayedItems),
+			res.SinkHoles == 0 && res.CheckpointsCommitted > 0)
+	}
 	return checks
 }
 

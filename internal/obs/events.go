@@ -23,6 +23,15 @@ const (
 	KindTaskKill        = "task_kill"
 	KindVertexDegraded  = "vertex_degraded"
 	KindDropCounters    = "drop_counters"
+	// Barrier-checkpoint lifecycle (processing guarantees): a checkpoint
+	// starts when the master injects barriers at the sources, commits
+	// when every task acknowledged alignment, and aborts on topology
+	// churn (scaling, crash) or when a newer barrier supersedes it.
+	KindCheckpointStart  = "checkpoint_start"
+	KindCheckpointCommit = "checkpoint_commit"
+	KindCheckpointAbort  = "checkpoint_abort"
+	// KindReplay audits one source-replay round after a recovery.
+	KindReplay = "replay"
 )
 
 // Event is one entry of the flight recorder. Time is seconds since the
@@ -142,6 +151,13 @@ type Lifecycle struct {
 	LostRecords       int64 `json:"lost_records,omitempty"`
 	DroppedReports    int64 `json:"dropped_reports,omitempty"`
 	DroppedNoConsumer int64 `json:"dropped_no_consumer,omitempty"`
+	// Barrier-checkpoint fields (checkpoint_* and replay events).
+	CheckpointID int64 `json:"checkpoint_id,omitempty"`
+	// DurationSeconds is injection-to-commit time (checkpoint_commit).
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	// CommittedOffsets is the sum of the committed source watermarks
+	// (checkpoint_commit) or the number of records re-emitted (replay).
+	CommittedOffsets uint64 `json:"committed_offsets,omitempty"`
 }
 
 // jsonSafe clamps non-finite floats so event payloads always marshal:

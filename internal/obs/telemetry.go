@@ -35,6 +35,15 @@ type Telemetry struct {
 	holds     *ts.Series
 	infeas    *ts.Series
 
+	// Processing-guarantee series (checkpoint lifecycle, replay, dedup).
+	ckptDur       *ts.Series
+	ckptInterval  *ts.Series
+	ckptStall     *ts.Series
+	ckptCommitted *ts.Series
+	ckptAborted   *ts.Series
+	replayed      *ts.Series
+	deduped       *ts.Series
+
 	mu       sync.Mutex
 	resHists map[ResidualKey]*ts.Series
 }
@@ -54,7 +63,53 @@ func NewTelemetry(pointsPerSeries int) *Telemetry {
 		holds:     st.Counter("nephelix_scaler_holds_total", nil),
 		infeas:    st.Counter("nephelix_scaler_infeasible_total", nil),
 		resHists:  make(map[ResidualKey]*ts.Series),
+
+		ckptDur:       st.Gauge("nephelix_checkpoint_duration_seconds", nil),
+		ckptInterval:  st.Gauge("nephelix_checkpoint_interval_seconds", nil),
+		ckptStall:     st.Gauge("nephelix_checkpoint_alignment_stall_seconds", nil),
+		ckptCommitted: st.Counter("nephelix_checkpoints_committed_total", nil),
+		ckptAborted:   st.Counter("nephelix_checkpoints_aborted_total", nil),
+		replayed:      st.Counter("nephelix_replayed_records_total", nil),
+		deduped:       st.Counter("nephelix_deduped_records_total", nil),
 	}
+}
+
+// ObserveCheckpoint records one finished barrier checkpoint: its
+// injection-to-commit duration, the interval since the previous commit,
+// and the worst barrier-alignment stall any task reported. Aborted
+// checkpoints only bump the abort counter.
+func (t *Telemetry) ObserveCheckpoint(now, duration, interval, stall float64, committed bool) {
+	if t == nil {
+		return
+	}
+	if !committed {
+		t.ckptAborted.Add(now, 1)
+		return
+	}
+	t.ckptCommitted.Add(now, 1)
+	t.ckptDur.Set(now, duration)
+	if interval > 0 {
+		t.ckptInterval.Set(now, interval)
+	}
+	t.ckptStall.Set(now, stall)
+}
+
+// AddReplayed counts records re-emitted from source replay buffers
+// after a recovery.
+func (t *Telemetry) AddReplayed(now float64, n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.replayed.Add(now, float64(n))
+}
+
+// AddDeduped counts duplicate sink deliveries detected by the
+// (source, offset) dedup tables (suppressed under exactly-once).
+func (t *Telemetry) AddDeduped(now float64, n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.deduped.Add(now, float64(n))
 }
 
 // Store exposes the underlying time-series store (nil when disabled).

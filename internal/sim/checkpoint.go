@@ -1,0 +1,429 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"nephelix/internal/ckpt"
+	"nephelix/internal/obs"
+)
+
+// Processing guarantees, simulator mirror. The engine's barrier-
+// checkpoint protocol (internal/engine/checkpoint.go) is replayed here
+// under virtual time with the same semantics, single-threaded:
+//
+//   - every source task owns a simSrcLog assigning monotonically
+//     increasing per-source offsets and retaining the uncommitted
+//     suffix for replay;
+//   - a recurring evCheckpoint event injects numbered barriers at the
+//     sources; barriers ride the regular channels as special items, so
+//     per-channel FIFO makes the cut consistent; consumers align by
+//     counting producer barriers, forward, and acknowledge;
+//   - when every task acknowledged, the checkpoint commits: source
+//     logs prune their committed prefixes and sink dedup windows
+//     advance. Topology churn (scaling, kills, respawns) during
+//     alignment aborts the checkpoint via a generation counter, exactly
+//     like the engine;
+//   - a fault respawn replays every source's uncommitted suffix
+//     (at-least-once); sink-vertex ckpt.DedupTables detect the
+//     duplicates and, under exactly-once, suppress their Process call.
+//
+// Everything runs on the simulation's deterministic event loop: the
+// same seed yields byte-identical results, guarantees included.
+
+// simSrcLog is one source task's offset log: offsets base..next()-1 are
+// assigned; buf holds the uncommitted suffix (buf[i] is offset base+i).
+type simSrcLog struct {
+	id   int32
+	name string
+	cap  int
+	base uint64
+	buf  []replayItem
+}
+
+// replayItem is one logged emission: the item as the behavior emitted
+// it (sim-internal pointers stripped) and its out-edge index.
+type replayItem struct {
+	it   Item
+	edge int8
+}
+
+// next returns the offset the next emission will receive.
+func (l *simSrcLog) next() uint64 { return l.base + uint64(len(l.buf)) }
+
+// full reports whether the replay buffer reached its bound.
+func (l *simSrcLog) full() bool { return len(l.buf) >= l.cap }
+
+// commitTo drops the committed prefix below watermark.
+func (l *simSrcLog) commitTo(watermark uint64) {
+	if watermark <= l.base {
+		return
+	}
+	n := int(watermark - l.base)
+	if n >= len(l.buf) {
+		n = len(l.buf)
+	}
+	rest := copy(l.buf, l.buf[n:])
+	for i := rest; i < len(l.buf); i++ {
+		l.buf[i] = replayItem{} // release Origins references
+	}
+	l.buf = l.buf[:rest]
+	l.base = watermark
+}
+
+// simCkpt is one in-flight barrier checkpoint.
+type simCkpt struct {
+	id      int64
+	gen     int64
+	started float64
+	// expect is the number of producer barriers each task must count
+	// before acknowledging; pending is the not-yet-acknowledged set.
+	expect  map[*simTask]int
+	pending map[*simTask]bool
+	// offsets are the source watermarks snapshotted at injection.
+	offsets map[*simSrcLog]uint64
+	// maxStall is the worst first-to-last barrier gap any task saw.
+	maxStall float64
+}
+
+// guarState is the per-run processing-guarantee state (nil on Sim when
+// guarantees are disabled, keeping the default data path untouched).
+type guarState struct {
+	level    ckpt.Guarantee
+	suppress bool
+	interval float64
+	bufCap   int
+
+	seq      int64 // checkpoint id allocator
+	gen      int64 // topology generation; churn bumps it
+	inflight *simCkpt
+
+	// pendingResp counts scheduled-but-not-yet-executed respawns;
+	// injection waits for recovery to settle, like the engine master.
+	pendingResp int
+
+	lastCommit  float64
+	lastID      int64
+	lastOffsets uint64
+
+	committed    int
+	aborted      int
+	replayed     int64
+	replayStalls int64
+
+	nextSrcID int32
+	logs      []*simSrcLog
+	// dedups tracks (source, offset) deliveries per sink vertex;
+	// dedupOrder fixes the iteration order for determinism.
+	dedups     map[string]*ckpt.DedupTable
+	dedupOrder []string
+}
+
+// initGuarantees builds the guarantee state from the config (New).
+func (s *Sim) initGuarantees() {
+	if !s.cfg.Guarantee.Enabled() {
+		return
+	}
+	g := &guarState{
+		level:    s.cfg.Guarantee,
+		suppress: s.cfg.Guarantee.Dedup(),
+		interval: s.cfg.CheckpointInterval,
+		bufCap:   s.cfg.ReplayBufferItems,
+		dedups:   make(map[string]*ckpt.DedupTable),
+	}
+	for _, jv := range s.cfg.Graph.Vertices() {
+		if len(s.cfg.Graph.OutEdges(jv.Name)) == 0 {
+			g.dedups[jv.Name] = ckpt.NewDedupTable()
+			g.dedupOrder = append(g.dedupOrder, jv.Name)
+		}
+	}
+	sort.Strings(g.dedupOrder)
+	s.guar = g
+}
+
+// attachSrcLog gives a new source task its offset log: a reattached
+// orphan (offset continuity across a respawn) or a fresh one.
+func (s *Sim) attachSrcLog(t *simTask) {
+	g := s.guar
+	if g == nil || !t.isSource {
+		return
+	}
+	v := t.vtx
+	if n := len(v.orphanLogs); n > 0 {
+		t.srcLog = v.orphanLogs[n-1]
+		v.orphanLogs[n-1] = nil
+		v.orphanLogs = v.orphanLogs[:n-1]
+		return
+	}
+	g.nextSrcID++
+	l := &simSrcLog{
+		id:   g.nextSrcID,
+		name: fmt.Sprintf("%s#%d", v.jv.Name, g.nextSrcID),
+		cap:  g.bufCap,
+	}
+	g.logs = append(g.logs, l)
+	t.srcLog = l
+}
+
+// noteSimChurn records a topology change: the generation bumps and any
+// in-flight checkpoint aborts, because its barrier cut no longer
+// matches the routing it was injected into.
+func (s *Sim) noteSimChurn(reason string) {
+	g := s.guar
+	if g == nil {
+		return
+	}
+	g.gen++
+	s.abortCkpt(reason)
+}
+
+// checkpointTick injects one barrier checkpoint at the sources
+// (recurring evCheckpoint event). Injection is skipped while recovery
+// or a drain is in progress; an unfinished predecessor is superseded.
+func (s *Sim) checkpointTick() {
+	g := s.guar
+	if g == nil {
+		return
+	}
+	if g.pendingResp > 0 {
+		return
+	}
+	if g.inflight != nil {
+		s.abortCkpt("superseded by next interval")
+	}
+	for _, name := range s.vertexOrder {
+		if len(s.vertices[name].draining) > 0 {
+			return
+		}
+	}
+	expect := make(map[*simTask]int)
+	pending := make(map[*simTask]bool)
+	var sources []*simTask
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		for _, t := range v.tasks {
+			if t.isSource {
+				sources = append(sources, t)
+				continue
+			}
+			n := 0
+			for _, ek := range v.inEdges {
+				n += len(s.vertices[ek.Source].tasks)
+			}
+			expect[t] = n
+			pending[t] = true
+		}
+	}
+	if len(sources) == 0 {
+		return
+	}
+	g.seq++
+	ck := &simCkpt{
+		id:      g.seq,
+		gen:     g.gen,
+		started: s.now,
+		expect:  expect,
+		pending: pending,
+		offsets: make(map[*simSrcLog]uint64, len(sources)),
+	}
+	g.inflight = ck
+	for _, t := range sources {
+		// The watermark is snapshotted now; a blocked source cannot
+		// emit (srcPendingEmit defers), so deferring its barrier to
+		// resume() keeps the snapshot consistent.
+		ck.offsets[t.srcLog] = t.srcLog.next()
+		if t.blockedOut > 0 {
+			t.pendingBarrier = ck.id
+		} else {
+			s.forwardBarrier(t, ck.id)
+		}
+	}
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.RecordLifecycle(s.now, obs.KindCheckpointStart,
+			obs.Lifecycle{CheckpointID: ck.id})
+	}
+	if len(ck.pending) == 0 {
+		s.commitCkpt() // degenerate source-only topology
+	}
+}
+
+// forwardBarrier flushes t's gates (pre-barrier data must precede the
+// marker in channel FIFO order) and ships one barrier item to every
+// consumer channel — all of them regardless of wiring pattern, because
+// alignment counts producers, not partitions.
+func (s *Sim) forwardBarrier(t *simTask, id int64) {
+	if t.blockedOut > 0 {
+		t.pendingBarrier = id
+		return
+	}
+	for _, g := range t.gates {
+		s.flushGate(g)
+	}
+	for _, g := range t.gates {
+		for _, ch := range g.channels {
+			b := append(s.getBatch(), Item{barrier: id, BufferTime: s.now, ShipTime: s.now})
+			s.ship(ch, b, 0)
+		}
+	}
+}
+
+// handleBarrier processes one barrier item reaching the head of t's
+// input queue (maybeStart): per-producer FIFO guarantees every
+// pre-barrier item of that producer was enqueued — and, being ahead in
+// the queue, serviced — before the marker, so counting to the expected
+// producer total makes the local cut consistent.
+func (s *Sim) handleBarrier(t *simTask, id int64) {
+	g := s.guar
+	ck := g.inflight
+	if ck == nil || id != ck.id {
+		return // stale barrier of an aborted or superseded checkpoint
+	}
+	if t.alignID != id {
+		t.alignID = id
+		t.alignSeen = 0
+		t.alignStart = s.now
+	}
+	t.alignSeen++
+	if t.alignSeen < ck.expect[t] {
+		return
+	}
+	if stall := s.now - t.alignStart; stall > ck.maxStall {
+		ck.maxStall = stall
+	}
+	if !ck.pending[t] {
+		return
+	}
+	delete(ck.pending, t)
+	s.forwardBarrier(t, id)
+	if len(ck.pending) == 0 {
+		s.commitCkpt()
+	}
+}
+
+// commitCkpt finishes the in-flight checkpoint once every task
+// acknowledged: logs prune their committed prefixes and sink dedup
+// windows advance. A checkpoint whose generation no longer matches the
+// topology is discarded as aborted — its cut spans a routing that no
+// longer exists.
+func (s *Sim) commitCkpt() {
+	g := s.guar
+	ck := g.inflight
+	g.inflight = nil
+	if ck.gen != g.gen {
+		g.aborted++
+		s.cfg.Telemetry.ObserveCheckpoint(s.now, 0, 0, 0, false)
+		if s.cfg.Recorder != nil {
+			s.cfg.Recorder.RecordLifecycle(s.now, obs.KindCheckpointAbort, obs.Lifecycle{
+				CheckpointID: ck.id, Reason: "topology changed during alignment",
+			})
+		}
+		return
+	}
+	logs := make([]*simSrcLog, 0, len(ck.offsets))
+	for l := range ck.offsets {
+		logs = append(logs, l)
+	}
+	sort.Slice(logs, func(i, j int) bool { return logs[i].id < logs[j].id })
+	var total uint64
+	for _, l := range logs {
+		w := ck.offsets[l]
+		l.commitTo(w)
+		total += w
+	}
+	for _, name := range g.dedupOrder {
+		d := g.dedups[name]
+		for _, l := range logs {
+			d.Prune(l.id, ck.offsets[l])
+		}
+	}
+	g.committed++
+	dur := s.now - ck.started
+	interval := s.now - g.lastCommit
+	g.lastCommit = s.now
+	g.lastID = ck.id
+	g.lastOffsets = total
+	s.cfg.Telemetry.ObserveCheckpoint(s.now, dur, interval, ck.maxStall, true)
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.RecordLifecycle(s.now, obs.KindCheckpointCommit, obs.Lifecycle{
+			CheckpointID: ck.id, DurationSeconds: dur, CommittedOffsets: total,
+		})
+	}
+}
+
+// abortCkpt discards the in-flight checkpoint, if any.
+func (s *Sim) abortCkpt(reason string) {
+	g := s.guar
+	ck := g.inflight
+	if ck == nil {
+		return
+	}
+	g.inflight = nil
+	g.aborted++
+	s.cfg.Telemetry.ObserveCheckpoint(s.now, 0, 0, 0, false)
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.RecordLifecycle(s.now, obs.KindCheckpointAbort,
+			obs.Lifecycle{CheckpointID: ck.id, Reason: reason})
+	}
+}
+
+// replayAll re-emits the uncommitted suffix of every live source log
+// after a respawn (the engine's requestReplayAll): a crash anywhere in
+// the pipeline may have dropped derived records of any source, so all
+// uncommitted offsets are re-delivered. Sinks see duplicates for the
+// records that did survive; the dedup tables absorb them.
+func (s *Sim) replayAll() {
+	if s.guar == nil {
+		return
+	}
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		for _, t := range v.tasks {
+			if t.srcLog != nil && len(t.srcLog.buf) > 0 {
+				s.replayLog(t)
+			}
+		}
+	}
+}
+
+// replayLog re-emits one source's uncommitted suffix through its gates.
+// Replayed items keep their original (source, offset) lineage; emit
+// skips stamping and logging while t.replaying is set.
+func (s *Sim) replayLog(t *simTask) {
+	l := t.srcLog
+	n := int64(len(l.buf))
+	t.replaying = true
+	for i := range l.buf {
+		s.emit(t, int(l.buf[i].edge), l.buf[i].it)
+	}
+	t.replaying = false
+	s.guar.replayed += n
+	s.cfg.Telemetry.AddReplayed(s.now, n)
+	if s.cfg.Recorder != nil {
+		s.cfg.Recorder.RecordLifecycle(s.now, obs.KindReplay, obs.Lifecycle{
+			Vertex: t.vtx.jv.Name, Task: t.id.String(), CommittedOffsets: uint64(n),
+		})
+	}
+}
+
+// dataItems counts the non-barrier items of a batch, so fault-loss
+// accounting never counts control markers as lost records.
+func dataItems(batch []Item) int64 {
+	n := int64(0)
+	for i := range batch {
+		if batch[i].barrier == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// queueDataItems counts the non-barrier items queued at t.
+func (t *simTask) queueDataItems() int64 {
+	n := int64(0)
+	for i := t.qHead; i < len(t.queue); i++ {
+		if t.queue[i].barrier == 0 {
+			n++
+		}
+	}
+	return n
+}

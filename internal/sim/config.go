@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"nephelix/internal/ckpt"
 	"nephelix/internal/core"
 	"nephelix/internal/model"
 	"nephelix/internal/obs"
@@ -179,6 +180,17 @@ type Config struct {
 	// Faults, when set, injects the plan's task and node kills as
 	// simulation events (see FaultPlan).
 	Faults *FaultPlan
+	// Guarantee selects the processing-guarantee level (default
+	// at-most-once: no offsets, no checkpoints, no replay — the
+	// historical behavior, byte-identical to earlier versions).
+	Guarantee ckpt.Guarantee
+	// CheckpointInterval is the virtual-time period of barrier
+	// checkpoints in seconds (default 1; only with Guarantee enabled).
+	CheckpointInterval float64
+	// ReplayBufferItems bounds each source's uncommitted replay buffer;
+	// a full buffer stalls that source's emission until the next commit
+	// (default 1<<16).
+	ReplayBufferItems int
 	// OnAdjust, when set, observes every adjustment interval: the fresh
 	// global summary, the flush deadlines just applied, and the scaler's
 	// decision (nil during inactivity or when not elastic). Intended for
@@ -273,6 +285,14 @@ func (c *Config) withDefaults() error {
 	if c.Faults != nil {
 		if err := c.Faults.validate(c); err != nil {
 			return err
+		}
+	}
+	if c.Guarantee.Enabled() {
+		if c.CheckpointInterval <= 0 {
+			c.CheckpointInterval = 1
+		}
+		if c.ReplayBufferItems <= 0 {
+			c.ReplayBufferItems = 1 << 16
 		}
 	}
 	if c.Scaler.Strategy.Batching.QueueWaitFraction == 0 {

@@ -43,6 +43,10 @@ const (
 	evNodeKill
 	// evRespawn re-adds n tasks to vertex v after a fault kill.
 	evRespawn
+	// evCheckpoint is the recurring barrier-checkpoint injection tick
+	// (processing guarantees); it reschedules itself like the
+	// control-plane ticks.
+	evCheckpoint
 )
 
 // event is one scheduled simulator action. Events are ordered by
@@ -226,5 +230,10 @@ func (s *Sim) dispatch(ev *event) {
 	case evRespawn:
 		op := s.takeOp(ev.n)
 		s.respawn(op.v, int(op.count))
+	case evCheckpoint:
+		s.checkpointTick()
+		if t := s.now + s.cfg.CheckpointInterval; t <= s.cfg.Duration {
+			s.q.push(event{at: t, kind: evCheckpoint})
+		}
 	}
 }

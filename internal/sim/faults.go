@@ -146,6 +146,11 @@ func (s *Sim) injectNodeKill(k NodeKill, p *FaultPlan) {
 
 // scheduleRespawn re-adds n tasks to v after delay.
 func (s *Sim) scheduleRespawn(v *simVertex, n int, delay float64) {
+	if s.guar != nil {
+		// Hold checkpoint injection until recovery settles, like the
+		// engine master's pendingRecovery gate.
+		s.guar.pendingResp++
+	}
 	i := s.allocOp()
 	s.ops[i] = evOp{v: v, count: int32(n)}
 	s.q.push(event{at: s.now + delay, kind: evRespawn, n: i})
@@ -154,6 +159,9 @@ func (s *Sim) scheduleRespawn(v *simVertex, n int, delay float64) {
 // respawn executes one evRespawn: places n replacement tasks on v.
 func (s *Sim) respawn(v *simVertex, n int) {
 	s.accountUsage()
+	if s.guar != nil {
+		s.guar.pendingResp--
+	}
 	added := v.addTasks(n)
 	s.respawnedTasks += added
 	if s.cfg.Recorder != nil && added > 0 {
@@ -164,6 +172,9 @@ func (s *Sim) respawn(v *simVertex, n int) {
 			BackoffSeconds: s.cfg.Faults.RestartDelay,
 		})
 	}
+	// Replay every source's uncommitted suffix: the crash may have
+	// dropped derived records of any source (at-least-once recovery).
+	s.replayAll()
 }
 
 // findTask locates a live (active or draining) task by id.
@@ -209,9 +220,16 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 	if t.isSource {
 		t.srcStopped = true
 	}
+	if t.srcLog != nil {
+		// The uncommitted suffix survives the crash in the orphaned
+		// log; a respawned task reattaches and replays it.
+		v.orphanLogs = append(v.orphanLogs, t.srcLog)
+		t.srcLog = nil
+	}
 
-	// Queued input dies with the task.
-	s.killedItems += int64(t.queueLen())
+	// Queued input dies with the task (barrier markers are control
+	// traffic, not lost records).
+	s.killedItems += t.queueDataItems()
 	t.queue = nil
 	t.qHead = 0
 
@@ -222,7 +240,7 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 	for _, ch := range t.in {
 		if len(ch.stalled) > 0 {
 			for _, b := range ch.stalled {
-				s.killedItems += int64(len(b))
+				s.killedItems += dataItems(b)
 				s.recycleBatch(b)
 			}
 			ch.stalled = nil
@@ -253,7 +271,7 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 		for _, ch := range g.channels {
 			if len(ch.stalled) > 0 {
 				for _, b := range ch.stalled {
-					s.killedItems += int64(len(b))
+					s.killedItems += dataItems(b)
 					ch.to.stalledInBatches--
 					s.recycleBatch(b)
 				}
@@ -286,6 +304,7 @@ func (s *Sim) killTask(t *simTask, unplace bool) {
 			LostRecords: s.killedItems - lostBefore,
 		})
 	}
+	s.noteSimChurn("fault kill rewired topology")
 	s.compactChannels()
 	for _, p := range resumed {
 		s.resume(p)

@@ -31,6 +31,20 @@ type Item struct {
 	// items.
 	Origins []float64
 
+	// Src and Offset are the item's lineage under processing
+	// guarantees: the source partition (0 = untracked, e.g. guarantees
+	// disabled or a timer emission) and the per-source offset of its
+	// ancestor. Items emitted during Process inherit them from the item
+	// being processed.
+	Src    int32
+	Offset uint64
+
+	// barrier marks checkpoint-barrier markers (the checkpoint id);
+	// zero for data items. Barriers ride the regular channels so
+	// per-channel FIFO keeps the cut consistent, but are consumed by
+	// the alignment logic instead of the behavior.
+	barrier int64
+
 	// src is the channel that delivered the item to the current task; the
 	// consumer records channel latency against it at dequeue time.
 	src *simChannel

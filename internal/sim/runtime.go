@@ -25,6 +25,12 @@ type simChannel struct {
 	established bool
 	closed      bool
 
+	// lastArrive is the latest delivery time scheduled on this channel;
+	// under processing guarantees every ship clamps to it so batches —
+	// and in particular checkpoint barriers — never overtake earlier
+	// ones (per-channel FIFO, the engine's channel ordering).
+	lastArrive float64
+
 	reporter *qos.ChannelReporter
 	mgr      *qos.Manager
 }
@@ -138,6 +144,21 @@ type simTask struct {
 	// (or emitted, for sources); items emitted meanwhile inherit it.
 	curSpan *obs.Span
 
+	// Processing-guarantee state. srcLog is the source offset log (nil
+	// for non-sources or when disabled); replaying suppresses stamping
+	// during a replay re-emission. alignID/alignSeen/alignStart track
+	// barrier alignment; pendingBarrier defers a barrier forward while
+	// the task is blocked in a send. curSrc/curOff is the lineage of
+	// the item being processed, inherited by its emissions.
+	srcLog         *simSrcLog
+	replaying      bool
+	alignID        int64
+	alignSeen      int
+	alignStart     float64
+	pendingBarrier int64
+	curSrc         int32
+	curOff         uint64
+
 	reporter *qos.TaskReporter
 	mgr      *qos.Manager
 
@@ -210,6 +231,21 @@ func (s *Sim) emit(t *simTask, edgeIdx int, it Item) {
 	g := t.gates[edgeIdx]
 	if len(g.channels) == 0 {
 		return // all consumers gone (drained); drop
+	}
+	if s.guar != nil {
+		if t.isSource {
+			if l := t.srcLog; l != nil && !t.replaying {
+				it.Src = l.id
+				it.Offset = l.next()
+				stored := it
+				stored.src = nil
+				stored.span = nil // the log must not pin trace spans
+				l.buf = append(l.buf, replayItem{it: stored, edge: int8(edgeIdx)})
+			}
+		} else {
+			it.Src = t.curSrc
+			it.Offset = t.curOff
+		}
 	}
 	it.BufferTime = s.now
 	it.src = nil
@@ -347,10 +383,19 @@ func (s *Sim) ship(ch *simChannel, batch []Item, bytes int) {
 		transit += s.cfg.Costs.TCPSetup
 		ch.established = true
 	}
+	at := s.now + transit
+	if s.guar != nil {
+		// Per-channel FIFO: a later ship (e.g. a tiny barrier batch)
+		// must not overtake an earlier, larger one.
+		if at < ch.lastArrive {
+			at = ch.lastArrive
+		}
+		ch.lastArrive = at
+	}
 	ch.to.inflightIn++
 	i := s.allocOp()
 	s.ops[i] = evOp{ch: ch, batch: batch}
-	s.q.push(event{at: s.now + transit, kind: evDeliver, n: i})
+	s.q.push(event{at: at, kind: evDeliver, n: i})
 }
 
 // flushGate flushes everything buffered in a gate (drain support).
@@ -387,11 +432,12 @@ func (s *Sim) deliver(ch *simChannel, batch []Item) {
 	ch.to.inflightIn--
 	if ch.to.disposed {
 		// The consumer is gone: finished draining before the batch
-		// arrived, or killed by a fault. Account accordingly.
+		// arrived, or killed by a fault. Account accordingly (barrier
+		// markers are control traffic, not lost records).
 		if ch.to.killed {
-			s.killedItems += int64(len(batch))
+			s.killedItems += dataItems(batch)
 		} else {
-			s.droppedItems += int64(len(batch))
+			s.droppedItems += dataItems(batch)
 		}
 		s.recycleBatch(batch)
 		return
@@ -414,7 +460,11 @@ func (s *Sim) acceptBatch(ch *simChannel, batch []Item) {
 	for i := range batch {
 		batch[i].src = ch
 		batch[i].arrive = s.now
-		to.reporter.RecordArrival(s.now)
+		if batch[i].barrier == 0 {
+			// Barrier markers skip arrival accounting: they are not
+			// workload and must not skew the QoS plane's rates.
+			to.reporter.RecordArrival(s.now)
+		}
 		to.pushQueue(batch[i])
 	}
 	s.recycleBatch(batch) // items copied into the queue; reuse the array
@@ -454,6 +504,15 @@ func (s *Sim) resume(t *simTask) {
 	if t.blockedOut > 0 {
 		return // the pending flush stalled again immediately
 	}
+	if id := t.pendingBarrier; id != 0 {
+		// A barrier forward deferred while the task was blocked in a
+		// send; it must ship before any new emission so the cut stays
+		// consistent.
+		t.pendingBarrier = 0
+		if g := s.guar; g != nil && g.inflight != nil && g.inflight.id == id {
+			s.forwardBarrier(t, id)
+		}
+	}
 	if t.isSource {
 		if t.srcPendingEmit && !t.srcStopped {
 			t.srcPendingEmit = false
@@ -469,6 +528,16 @@ func (s *Sim) resume(t *simTask) {
 func (s *Sim) maybeStart(t *simTask) {
 	if t.busy || t.disposed || t.blockedOut > 0 || t.isSource {
 		return
+	}
+	// Barrier markers at the queue head are consumed by the alignment
+	// logic at zero service cost; every pre-barrier item of the
+	// barrier's producer was queued — and therefore serviced — first.
+	for t.queueLen() > 0 && t.queue[t.qHead].barrier != 0 {
+		it := t.popQueue()
+		s.handleBarrier(t, it.barrier)
+		if t.busy || t.disposed || t.blockedOut > 0 {
+			return
+		}
 	}
 	if t.queueLen() == 0 {
 		if t.draining {
@@ -540,9 +609,23 @@ func (s *Sim) serviceDone(t *simTask) {
 			s.cfg.Telemetry.ObserveE2E(s.now, s.now-it.span.Start())
 		}
 	}
+	if g := s.guar; g != nil && len(t.gates) == 0 && it.Src != 0 {
+		// Sink dedup: replays re-deliver records that already arrived
+		// before the crash. Detection runs at every guarantee level;
+		// suppression (skipping Process) only under exactly-once.
+		if d := g.dedups[t.vtx.jv.Name]; d != nil && !d.Admit(it.Src, it.Offset) {
+			s.cfg.Telemetry.AddDeduped(s.now, 1)
+			if g.suppress {
+				s.maybeStart(t)
+				return
+			}
+		}
+	}
+	t.curSrc, t.curOff = it.Src, it.Offset
 	t.curSpan = it.span
 	t.behavior.Process(&t.ctx, it)
 	t.curSpan = nil
+	t.curSrc, t.curOff = 0, 0
 	s.maybeStart(t)
 }
 

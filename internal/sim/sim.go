@@ -60,6 +60,10 @@ type Sim struct {
 	batching  *qos.BatchingController
 	deadlines map[model.EdgeKey]float64
 
+	// guar holds the processing-guarantee state (nil when disabled, so
+	// the historical data path stays byte-identical).
+	guar *guarState
+
 	// counters (per-vertex item counters live on simVertex: map hashing
 	// per processed item is measurable at simulator throughput)
 	droppedItems        int64
@@ -155,6 +159,29 @@ type Result struct {
 	RespawnedTasks int
 	// MeanCPUUtilization is the run-wide mean task CPU utilization.
 	MeanCPUUtilization float64
+
+	// Processing-guarantee outcome (zero values when disabled).
+	// CheckpointsCommitted / CheckpointsAborted count barrier
+	// checkpoints; CommittedOffsets is the total source watermark of
+	// the last commit.
+	CheckpointsCommitted int
+	CheckpointsAborted   int
+	CommittedOffsets     uint64
+	// ReplayedItems counts source-log re-emissions after respawns;
+	// ReplayStalls the emissions deferred by a full replay buffer.
+	ReplayedItems int64
+	ReplayStalls  int64
+	// SinkDistinct / SinkDuplicates / SinkHoles aggregate the sink
+	// dedup tables: first-time deliveries, detected duplicates
+	// (suppressed under exactly-once), and committed-but-never-
+	// delivered offsets. Holes > 0 means records were lost despite the
+	// guarantee — the zero-loss assertions check exactly this.
+	SinkDistinct   int64
+	SinkDuplicates int64
+	SinkHoles      int64
+	// UncommittedItems counts items still in replay buffers at the end
+	// of the run (not lost — they were simply never committed).
+	UncommittedItems int64
 }
 
 // New builds a simulation from the config and probe set (probes may be
@@ -198,6 +225,7 @@ func New(cfg Config, probes *ProbeSet) (*Sim, error) {
 		}
 		s.scaler = sc
 	}
+	s.initGuarantees()
 	if err := s.bootstrap(); err != nil {
 		return nil, err
 	}
@@ -325,6 +353,14 @@ func (s *Sim) sourceEmit(t *simTask) {
 		// Backpressure: the source thread is stuck in a send; it resumes
 		// emitting when unblocked (resume()).
 		t.srcPendingEmit = true
+		return
+	}
+	if t.srcLog != nil && t.srcLog.full() {
+		// The replay buffer is at its bound: emitting more would make
+		// the uncommitted suffix unreplayable. Stall until a checkpoint
+		// commit frees space.
+		s.guar.replayStalls++
+		s.q.push(event{at: s.now + 0.01, kind: evSourceEmit, tslot: t.slot})
 		return
 	}
 	src := t.vtx.cfg.Source
@@ -647,6 +683,9 @@ func (s *Sim) Run() (*Result, error) {
 	s.q.push(event{at: s.cfg.MeasurementInterval, kind: evMeasure})
 	s.q.push(event{at: s.cfg.AdjustmentInterval, kind: evAdjust})
 	s.q.push(event{at: s.cfg.RecordInterval, kind: evRecord})
+	if s.guar != nil {
+		s.q.push(event{at: s.cfg.CheckpointInterval, kind: evCheckpoint})
+	}
 	if s.cfg.Faults != nil {
 		s.scheduleFaults(s.cfg.Faults)
 	}
@@ -711,6 +750,22 @@ func (s *Sim) Run() (*Result, error) {
 			Mean:        p.TotalMean(),
 			P95:         p.TotalP95(),
 			Count:       p.TotalCount(),
+		}
+	}
+	if g := s.guar; g != nil {
+		res.CheckpointsCommitted = g.committed
+		res.CheckpointsAborted = g.aborted
+		res.CommittedOffsets = g.lastOffsets
+		res.ReplayedItems = g.replayed
+		res.ReplayStalls = g.replayStalls
+		for _, l := range g.logs {
+			res.UncommittedItems += int64(len(l.buf))
+		}
+		for _, name := range g.dedupOrder {
+			d := g.dedups[name]
+			res.SinkDistinct += d.Distinct()
+			res.SinkDuplicates += d.Dups()
+			res.SinkHoles += d.Holes()
 		}
 	}
 	// Run-wide CPU utilization.

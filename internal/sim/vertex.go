@@ -19,6 +19,10 @@ type simVertex struct {
 	tasks    []*simTask
 	draining map[*simTask]struct{}
 
+	// orphanLogs holds source offset logs of killed tasks until a
+	// respawned task reattaches them (processing guarantees).
+	orphanLogs []*simSrcLog
+
 	// nextIndex allocates unique task indices so QoS history never mixes
 	// a removed task with its successor.
 	nextIndex int
@@ -59,6 +63,7 @@ func (v *simVertex) newTask() (*simTask, error) {
 	if v.cfg.NewBehavior != nil {
 		t.behavior = v.cfg.NewBehavior(id.Index)
 	}
+	s.attachSrcLog(t)
 	t.gates = make([]*outGate, len(v.outEdges))
 	for pos, ek := range v.outEdges {
 		ec := s.cfg.edgeConfig(ek)
@@ -152,6 +157,9 @@ func (v *simVertex) addTasks(n int) int {
 		// Start source emission / timers for the new task.
 		s.startTask(t)
 	}
+	if added > 0 {
+		s.noteSimChurn("scale-up rewired topology")
+	}
 	return added
 }
 
@@ -160,6 +168,9 @@ func (v *simVertex) addTasks(n int) int {
 // before disposal.
 func (v *simVertex) removeTasks(n int) {
 	s := v.sim
+	if n > 0 && len(v.tasks) > 0 {
+		s.noteSimChurn("scale-down rewired topology")
+	}
 	for i := 0; i < n && len(v.tasks) > 0; i++ {
 		t := v.tasks[len(v.tasks)-1]
 		v.tasks = v.tasks[:len(v.tasks)-1]
@@ -210,6 +221,12 @@ func (v *simVertex) finalizeRemoval(t *simTask) {
 	s.accountUsage() // integrate usage before the task count drops
 	s.retiredBusy += t.busyAccum
 	delete(v.draining, t)
+	if t.srcLog != nil {
+		// Keep the offset log for a future task of this vertex, so
+		// offsets stay monotonic across scale-down/up cycles.
+		v.orphanLogs = append(v.orphanLogs, t.srcLog)
+		t.srcLog = nil
+	}
 	if err := s.scheduler.Unplace(t.id); err != nil {
 		s.fail("unplacing %s: %v", t.id, err)
 	}
