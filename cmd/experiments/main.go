@@ -1,13 +1,15 @@
 // Command experiments regenerates the paper's evaluation: every measured
 // figure and table (Figure 3, Figure 5, Figure 6, the Section V-A
-// task-hours sweep, Figure 8) plus the fault-injection recovery run and
-// the processing-guarantee sweep, writing CSV time series and printing
-// the shape checks against the paper's reported results.
+// task-hours sweep, Figure 8) plus the fault-injection recovery run,
+// the processing-guarantee sweep and the tail-latency observability run
+// (quantile-sketch validation, p99 attribution, SLO error budgets),
+// writing CSV time series and printing the shape checks against the
+// paper's reported results.
 //
 // Usage:
 //
 //	experiments [-out DIR] [-paper] [-guarantee MODE] [-ckpt.interval S]
-//	            [fig3|fig5|fig6|taskhours|fig8|faults|guarantees|bench|all]
+//	            [fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|bench|all]
 //
 // Without -paper the quick (laptop-scale) variants run; -paper uses the
 // full 130-node topology and 60 s steps (minutes of wall-clock time).
@@ -40,6 +42,7 @@ import (
 var (
 	recorder  = obs.NewRecorder(0)
 	telemetry = obs.NewTelemetry(0)
+	tracer    = obs.NewTracer(64)
 )
 
 func main() {
@@ -47,12 +50,12 @@ func main() {
 	paper := flag.Bool("paper", false, "run at full paper scale (slow)")
 	guarantee := flag.String("guarantee", "at-most-once", "processing guarantee for the faults experiment: at-most-once | at-least-once | exactly-once")
 	ckptInterval := flag.Float64("ckpt.interval", 1, "checkpoint interval in virtual seconds (guaranteed faults run)")
-	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /dash, /debug/pprof, /scaler/decisions) on this address")
+	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /slo, /dash, /debug/pprof, /scaler/decisions) on this address")
 	obsLinger := flag.Duration("obs.linger", 0, "keep the introspection server alive this long after the experiments finish (for scraping a completed run)")
 	flag.Parse()
 
 	if *obsAddr != "" {
-		srv, err := obs.Serve(*obsAddr, obs.ServerConfig{Recorder: recorder, Telemetry: telemetry})
+		srv, err := obs.Serve(*obsAddr, obs.ServerConfig{Recorder: recorder, Telemetry: telemetry, Tracer: tracer})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
@@ -138,8 +141,15 @@ func run(outDir string, paper bool, which string, guarantee ckpt.Guarantee, ckpt
 		}
 		failures += n
 	}
-	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" && which != "guarantees" {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|guarantees|bench|all)", which)
+	if all || which == "tails" {
+		n, err := runTails(outDir, paper)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" && which != "guarantees" && which != "tails" {
+		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|bench|all)", which)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d shape check(s) failed", failures)
@@ -265,6 +275,7 @@ func runFaults(outDir string, paper bool, guarantee ckpt.Guarantee, ckptInterval
 	opts.CheckpointInterval = ckptInterval
 	opts.Recorder = recorder
 	opts.Telemetry = telemetry
+	opts.Tracer = tracer
 	start := time.Now()
 	res, err := experiments.RunFaults(opts)
 	if err != nil {
@@ -371,6 +382,50 @@ func writeBenchJSON(outDir, name string, suite *experiments.BenchSuite) error {
 	}
 	fmt.Printf("  wrote %s\n", path)
 	return nil
+}
+
+func runTails(outDir string, paper bool) (int, error) {
+	opts := experiments.TailsQuick()
+	if paper {
+		opts = experiments.TailsPaper()
+	}
+	opts.Recorder = recorder
+	opts.Telemetry = telemetry
+	start := time.Now()
+	res, err := experiments.RunTails(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Tails: sketch validation, p99 attribution, SLO budgets", res.Checks, time.Since(start))
+	fmt.Print(res.Attribution)
+	for _, st := range res.SLO {
+		fmt.Printf("  SLO %s: p%g ≤ %.0f ms, budget remaining %.2f, burn %.2f, violations %d\n",
+			st.Constraint, st.Quantile*100, st.BoundSeconds*1000,
+			st.ErrorBudgetRemaining, st.BurnRate, st.Violations)
+	}
+
+	path := filepath.Join(outDir, "tails.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return n, err
+	}
+	defer f.Close()
+	if err := res.WriteTailsCSV(f); err != nil {
+		return n, err
+	}
+	fmt.Printf("  wrote %s (%d hops)\n", path, len(res.Attribution.Hops))
+
+	tsPath := filepath.Join(outDir, "tails_timeseries.json")
+	tf, err := os.Create(tsPath)
+	if err != nil {
+		return n, err
+	}
+	defer tf.Close()
+	if err := telemetry.WriteJSON(tf); err != nil {
+		return n, err
+	}
+	fmt.Printf("  wrote %s (%d series)\n", tsPath, telemetry.Store().Len())
+	return n, nil
 }
 
 func runFig8(outDir string, paper bool) (int, error) {

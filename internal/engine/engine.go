@@ -195,6 +195,7 @@ func (e *Engine) Submit(spec *JobSpec, probes *probe.ProbeSet) (*Execution, erro
 		stopCh:      make(chan struct{}),
 		doneCh:      make(chan struct{}),
 	}
+	ex.sloTargets = obs.SLOTargetsFromConstraints(spec.constraints)
 	ex.controller = qos.NewBatchingController(e.cfg.Scaler.Strategy.Batching)
 	ex.controller.SetElastic(e.cfg.Elastic)
 	ex.guarantee = e.cfg.Guarantee
@@ -290,6 +291,10 @@ type execution struct {
 
 	probes  *probe.ProbeSet
 	reports chan any
+
+	// sloTargets are the per-constraint SLO targets derived from the job
+	// spec's constraints, used when no bounded probe covers them.
+	sloTargets []obs.SLOTarget
 
 	// pool recycles batch slices across all tasks of the execution (see
 	// pool.go for the ownership contract).
@@ -992,6 +997,35 @@ func (ex *execution) recordTick() {
 	ex.rowsMu.Unlock()
 }
 
+// observeSLOs feeds per-constraint SLO accounting each adjustment
+// interval. Bounded probes see the ground-truth per-path latency
+// stream, so each drives its own SLO cell; without bounded probes the
+// telemetry falls back to its sampled end-to-end sketch against the
+// spec's constraints.
+func (ex *execution) observeSLOs() {
+	if ex.cfg.Telemetry == nil {
+		return
+	}
+	now := time.Since(ex.start).Seconds()
+	fed := false
+	for _, name := range ex.probes.Names() {
+		p := ex.probes.Probe(name)
+		if p.BoundSeconds <= 0 {
+			continue
+		}
+		count, bad, est := p.TailState(obs.DefaultSLOQuantile)
+		ex.cfg.Telemetry.ObserveSLO(now, obs.SLOTarget{
+			Constraint:   name,
+			Quantile:     obs.DefaultSLOQuantile,
+			BoundSeconds: p.BoundSeconds,
+		}, count, bad, est, ex.cfg.Recorder)
+		fed = true
+	}
+	if !fed {
+		ex.cfg.Telemetry.ObserveSLOs(now, ex.sloTargets, ex.cfg.Recorder)
+	}
+}
+
 // adjustTick runs one adjustment interval: summary, batching deadlines,
 // scaling.
 func (ex *execution) adjustTick() {
@@ -1045,6 +1079,7 @@ func (ex *execution) adjustTick() {
 	// Telemetry scrapes even without an elastic scaler (decision nil),
 	// and before recording so the audit event carries the drift flags.
 	drift := ex.cfg.Telemetry.ObserveInterval(time.Since(ex.start).Seconds(), summary, decision, par)
+	ex.observeSLOs()
 	if decision == nil {
 		return
 	}

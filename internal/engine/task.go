@@ -289,6 +289,7 @@ func (t *task) handleBatch(b batch) {
 			batchDelay := b.shipped.Sub(b.oldestBuf).Seconds()
 			wait := cur.Sub(b.shipped).Seconds()
 			rec.span.Hop(t.id.Vertex, t.edgeNames[chID.Edge], batchDelay, 0, wait, service.Seconds())
+			t.ex.cfg.Telemetry.ObserveHop(nowSeconds(end), t.id.Vertex, t.edgeNames[chID.Edge], batchDelay, 0, wait, service.Seconds())
 			if len(t.gates) == 0 {
 				endS := nowSeconds(end)
 				rec.span.Finish(endS)

@@ -5,7 +5,6 @@ import (
 
 	"nephelix/internal/apps"
 	"nephelix/internal/sim"
-	"nephelix/internal/workload"
 )
 
 // Fig8Options parameterizes the Figure 8 reproduction: the
@@ -73,32 +72,7 @@ func RunFig8(opts Fig8Options) (*Fig8Result, error) {
 	}
 	appOpts := apps.DefaultTwitterSentimentOptions()
 	appOpts.Seed = opts.Seed
-	if opts.Scale > 1 {
-		f := float64(opts.Scale)
-		tr := *appOpts.Schedule
-		tr.BaseRate /= f
-		tr.DailyAmplitude /= f
-		bursts := make([]workload.Burst, len(tr.Bursts))
-		copy(bursts, tr.Bursts)
-		for i := range bursts {
-			bursts[i].ExtraRate /= f
-		}
-		tr.Bursts = bursts
-		appOpts.Schedule = &tr
-		div := func(v int) int {
-			r := v / opts.Scale
-			if r < 1 {
-				r = 1
-			}
-			return r
-		}
-		appOpts.Sources = div(appOpts.Sources)
-		appOpts.InitialHT = div(appOpts.InitialHT)
-		appOpts.InitialFilter = div(appOpts.InitialFilter)
-		appOpts.InitialSentiment = div(appOpts.InitialSentiment)
-		appOpts.MaxElastic = div(appOpts.MaxElastic)
-		appOpts.WorkerNodes = div(appOpts.WorkerNodes)
-	}
+	scaleTwitterOptions(&appOpts, opts.Scale)
 	cfg, probes, err := apps.BuildTwitterSentiment(appOpts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig8: %w", err)

@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"nephelix/internal/apps"
+	"nephelix/internal/metrics/sketch"
+	"nephelix/internal/obs"
+	"nephelix/internal/sim"
+	"nephelix/internal/workload"
+)
+
+// TailsOptions parameterizes the tail-latency observability experiment:
+// the TwitterSentiment job under its bursty tweet trace, with the
+// probe streams captured exactly so the quantile sketches can be
+// validated against ground truth.
+type TailsOptions struct {
+	// Scale divides the trace rates and parallelism (as in Figure 8).
+	Scale int
+	// Duration truncates the trace (0 = full 6000 s). The default quick
+	// variant covers the 900 s burst and the main 2300 s burst.
+	Duration float64
+	Seed     int64
+	// SampleEvery is the tracer's head-sampling period for per-hop
+	// attribution (every SampleEvery-th source record carries a span).
+	SampleEvery int
+	// Alpha is the sketch relative-error bound under validation.
+	Alpha float64
+
+	// Recorder and Telemetry, when set, receive the run's audit events
+	// and time series (SLO gauges, tail quantiles, hop sketches).
+	Recorder  *obs.Recorder
+	Telemetry *obs.Telemetry
+}
+
+// TailsQuick returns the laptop-scale configuration.
+func TailsQuick() TailsOptions {
+	return TailsOptions{Scale: 4, Duration: 2600, Seed: 1, SampleEvery: 8, Alpha: sketch.DefaultAlpha}
+}
+
+// TailsPaper runs the full-scale trace end to end.
+func TailsPaper() TailsOptions {
+	return TailsOptions{Scale: 1, Seed: 1, SampleEvery: 8, Alpha: sketch.DefaultAlpha}
+}
+
+// TailsQuantile is one sketch-vs-exact comparison: the probe's quantile
+// estimate from its mergeable sketch against the nearest-rank value of
+// the exactly captured latency stream.
+type TailsQuantile struct {
+	Probe    string
+	Quantile float64
+	Exact    float64
+	Sketch   float64
+	RelErr   float64
+}
+
+// TailsResult aggregates the run, the sketch validation, the p99
+// attribution and the SLO accounting.
+type TailsResult struct {
+	Options TailsOptions
+	Rows    []sim.Row
+
+	// Validation holds one row per probe and quantile; MaxRelErr is the
+	// worst observed |sketch−exact|/exact (must stay ≤ Alpha).
+	Validation []TailsQuantile
+	MaxRelErr  float64
+
+	// Attribution decomposes the sampled end-to-end latency per hop at
+	// p99 — which vertex or edge dominates the tail vs the mean.
+	Attribution obs.TailAttributionReport
+
+	// SLO is the final per-constraint error-budget state.
+	SLO []obs.SLOStatus
+
+	Checks CheckList
+}
+
+// tailsQuantiles are the validated quantiles.
+var tailsQuantiles = []float64{0.5, 0.9, 0.95, 0.99, 0.999}
+
+// scaleTwitterOptions divides the TwitterSentiment trace rates and
+// parallelism-related quantities by scale (shared by Figure 8 and the
+// tails experiment).
+func scaleTwitterOptions(appOpts *apps.TwitterSentimentOptions, scale int) {
+	if scale <= 1 {
+		return
+	}
+	f := float64(scale)
+	tr := *appOpts.Schedule
+	tr.BaseRate /= f
+	tr.DailyAmplitude /= f
+	bursts := make([]workload.Burst, len(tr.Bursts))
+	copy(bursts, tr.Bursts)
+	for i := range bursts {
+		bursts[i].ExtraRate /= f
+	}
+	tr.Bursts = bursts
+	appOpts.Schedule = &tr
+	div := func(v int) int {
+		r := v / scale
+		if r < 1 {
+			r = 1
+		}
+		return r
+	}
+	appOpts.Sources = div(appOpts.Sources)
+	appOpts.InitialHT = div(appOpts.InitialHT)
+	appOpts.InitialFilter = div(appOpts.InitialFilter)
+	appOpts.InitialSentiment = div(appOpts.InitialSentiment)
+	appOpts.MaxElastic = div(appOpts.MaxElastic)
+	appOpts.WorkerNodes = div(appOpts.WorkerNodes)
+}
+
+// RunTails executes the tail-latency observability experiment.
+func RunTails(opts TailsOptions) (*TailsResult, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 4
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 8
+	}
+	if opts.Alpha <= 0 {
+		opts.Alpha = sketch.DefaultAlpha
+	}
+	appOpts := apps.DefaultTwitterSentimentOptions()
+	appOpts.Seed = opts.Seed
+	scaleTwitterOptions(&appOpts, opts.Scale)
+	cfg, probes, err := apps.BuildTwitterSentiment(appOpts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tails: %w", err)
+	}
+	if opts.Duration > 0 {
+		cfg.Duration = opts.Duration
+	}
+	tracer := obs.NewTracer(opts.SampleEvery)
+	cfg.Tracer = tracer
+	cfg.Recorder = opts.Recorder
+	telemetry := opts.Telemetry
+	if telemetry == nil {
+		telemetry = obs.NewTelemetry(0)
+	}
+	cfg.Telemetry = telemetry
+
+	// Capture the exact probe streams: every probed record's latency,
+	// in arrival order, next to the probe's own sketch ingest.
+	exact := map[string]*[]float64{}
+	for _, name := range []string{apps.HotTopicsProbe, apps.SentimentProbe} {
+		buf := make([]float64, 0, 1<<16)
+		exact[name] = &buf
+		bp := &buf
+		probes.Probe(name).Tap = func(latency float64) {
+			*bp = append(*bp, latency)
+		}
+	}
+
+	s, err := sim.New(cfg, probes)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tails: %w", err)
+	}
+	out, err := s.Run()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tails: %w", err)
+	}
+
+	res := &TailsResult{Options: opts, Rows: out.Rows}
+	for _, name := range []string{apps.HotTopicsProbe, apps.SentimentProbe} {
+		samples := *exact[name]
+		p := probes.Probe(name)
+		for _, q := range tailsQuantiles {
+			ex := sketch.NearestRankOf(samples, q)
+			est := p.TotalQuantile(q)
+			v := TailsQuantile{Probe: name, Quantile: q, Exact: ex, Sketch: est}
+			if ex > 0 {
+				v.RelErr = math.Abs(est-ex) / ex
+			}
+			if v.RelErr > res.MaxRelErr {
+				res.MaxRelErr = v.RelErr
+			}
+			res.Validation = append(res.Validation, v)
+		}
+	}
+	res.Attribution = tracer.TailAttribution(0.99)
+	res.SLO = telemetry.SLOSnapshot()
+	res.Checks = tailsChecks(res, exact)
+	return res, nil
+}
+
+// tailsChecks asserts the observability layer's own guarantees.
+func tailsChecks(res *TailsResult, exact map[string]*[]float64) CheckList {
+	var checks CheckList
+	var captured int
+	for _, buf := range exact {
+		captured += len(*buf)
+	}
+	checks.Add("exact streams captured",
+		"both probe paths produced ground-truth latency samples",
+		fmt.Sprintf("%d samples", captured),
+		captured > 1000)
+	checks.Add("sketch relative-error bound",
+		fmt.Sprintf("every quantile within α=%g of the exact nearest-rank value", res.Options.Alpha),
+		fmt.Sprintf("max rel err %.5f over %d comparisons", res.MaxRelErr, len(res.Validation)),
+		res.MaxRelErr <= res.Options.Alpha+1e-12)
+	checks.Add("hops attributed",
+		"per-hop sketches cover the sampled spans",
+		fmt.Sprintf("%d hops, e2e n=%d", len(res.Attribution.Hops), res.Attribution.E2ECount),
+		len(res.Attribution.Hops) > 0 && res.Attribution.E2ECount > 100)
+	checks.Add("tail dominance identified",
+		"a dominant hop exists at the mean and at p99",
+		fmt.Sprintf("mean: %s; p99: %s", res.Attribution.DominantMean, res.Attribution.DominantTail),
+		res.Attribution.DominantMean != "" && res.Attribution.DominantTail != "")
+	var sloOK, withObs int
+	for _, st := range res.SLO {
+		if st.Count > 0 {
+			withObs++
+		}
+		if st.WindowIntervals > 0 && st.BadFraction >= 0 && st.BadFraction <= 1 {
+			sloOK++
+		}
+	}
+	checks.Add("SLO budgets tracked",
+		"both latency constraints accumulate error-budget state",
+		fmt.Sprintf("%d targets, %d with observations", len(res.SLO), withObs),
+		len(res.SLO) == 2 && withObs == 2 && sloOK == len(res.SLO))
+	// The tail quantiles the dashboard draws must be monotone.
+	e := res.Attribution
+	checks.Add("e2e quantiles monotone",
+		"p50 ≤ p95 ≤ p99 ≤ p999 on the sampled end-to-end stream",
+		fmt.Sprintf("p50=%.3fs p95=%.3fs p99=%.3fs p999=%.3fs", e.E2EP50, e.E2EP95, e.E2EP99, e.E2EP999),
+		e.E2EP50 <= e.E2EP95 && e.E2EP95 <= e.E2EP99 && e.E2EP99 <= e.E2EP999)
+	return checks
+}
+
+// WriteTailsCSV renders the p99 attribution as CSV: the end-to-end
+// distribution first, then one row per hop with its mean/tail shares.
+func (r *TailsResult) WriteTailsCSV(w interface{ Write([]byte) (int, error) }) error {
+	a := r.Attribution
+	if _, err := fmt.Fprintln(w, "kind,name,count,mean_s,p50_s,p95_s,p99_s,p999_s,mean_share,tail_share"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "e2e,e2e,%d,%g,%g,%g,%g,%g,,\n",
+		a.E2ECount, a.E2EMean, a.E2EP50, a.E2EP95, a.E2EP99, a.E2EP999); err != nil {
+		return err
+	}
+	for _, h := range a.Hops {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%g,%g,%g,%g,%g,%g,%g\n",
+			h.Kind, h.Name, h.Count, h.Mean, h.P50, h.P95, h.P99, h.P999,
+			h.MeanShare, h.TailShare); err != nil {
+			return err
+		}
+	}
+	return nil
+}

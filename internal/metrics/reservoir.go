@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -48,8 +49,16 @@ func (r *Reservoir) Count() int64 { return r.seen }
 // Len returns the number of samples currently held.
 func (r *Reservoir) Len() int { return len(r.samples) }
 
-// Percentile estimates the q-th percentile (q in [0, 1]) from the sample
-// using linear interpolation. It returns 0 when the reservoir is empty.
+// Percentile estimates the q-th percentile (q in [0, 1]) from the
+// sample with nearest-rank semantics: the ⌈q·n⌉-th smallest held
+// sample. It returns 0 when the reservoir is empty.
+//
+// Earlier versions interpolated between order statistics, which biases
+// tail quantiles low on partially-filled reservoirs: with n samples the
+// interpolated position q·(n−1) sits below the nearest-rank index for
+// every q near 1, so p95/p99 reported a value strictly smaller than any
+// sample at or above the true rank. Nearest-rank never underestimates
+// the boundary order statistic.
 func (r *Reservoir) Percentile(q float64) float64 {
 	if len(r.samples) == 0 {
 		return 0
@@ -57,7 +66,7 @@ func (r *Reservoir) Percentile(q float64) float64 {
 	sorted := make([]float64, len(r.samples))
 	copy(sorted, r.samples)
 	sort.Float64s(sorted)
-	return percentileOfSorted(sorted, q)
+	return nearestRankOfSorted(sorted, q)
 }
 
 // Mean returns the mean of the held samples, or 0 when empty.
@@ -104,6 +113,23 @@ func percentileOfSorted(sorted []float64, q float64) float64 {
 		return sorted[lo]
 	}
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// nearestRankOfSorted returns the ⌈q·n⌉-th element of an ascending
+// slice (clamped to [1, n]).
+func nearestRankOfSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := math.Ceil(q * float64(len(sorted)))
+	if pos < 1 {
+		pos = 1
+	}
+	idx := int(pos) - 1
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // PercentileOf computes the q-th percentile of an arbitrary sample slice

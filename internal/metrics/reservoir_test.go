@@ -54,6 +54,48 @@ func TestReservoirUniformity(t *testing.T) {
 	}
 }
 
+// TestReservoirTailPercentileNearestRank is the regression test for the
+// partially-filled tail bias: linear interpolation placed q·(n−1)
+// below the nearest-rank index for q near 1, so p95/p99 of a small
+// sample came out below every sample at or above the true rank (e.g.
+// p95 of {1..5} interpolated to 4.8 instead of 5). Nearest-rank must
+// return an actual held sample and never undershoot the boundary order
+// statistic.
+func TestReservoirTailPercentileNearestRank(t *testing.T) {
+	r := NewReservoir(4096, rand.New(rand.NewSource(10)))
+	for i := 1; i <= 5; i++ {
+		r.Add(float64(i))
+	}
+	if got := r.Percentile(0.95); got != 5 {
+		t.Errorf("p95 of {1..5}: got %v, want 5 (nearest rank ⌈0.95·5⌉=5)", got)
+	}
+	if got := r.Percentile(0.99); got != 5 {
+		t.Errorf("p99 of {1..5}: got %v, want 5", got)
+	}
+	if got := r.Percentile(0.8); got != 4 {
+		t.Errorf("p80 of {1..5}: got %v, want 4 (rank ⌈0.8·5⌉=4)", got)
+	}
+	// A larger partially-filled reservoir: p99 of {1..100} is sample 99,
+	// not an interpolated 98.01.
+	r.Reset()
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	if got := r.Percentile(0.99); got != 99 {
+		t.Errorf("p99 of {1..100}: got %v, want 99", got)
+	}
+	// Every nearest-rank result is a sample actually held.
+	held := map[float64]bool{}
+	for _, s := range r.Samples() {
+		held[s] = true
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		if !held[r.Percentile(q)] {
+			t.Errorf("Percentile(%v) = %v is not a held sample", q, r.Percentile(q))
+		}
+	}
+}
+
 func TestReservoirEmpty(t *testing.T) {
 	r := NewReservoir(4, rand.New(rand.NewSource(4)))
 	if r.Percentile(0.5) != 0 || r.Mean() != 0 {

@@ -1,0 +1,357 @@
+// Package sketch implements a DDSketch-style log-bucketed quantile
+// sketch with a fixed relative-error guarantee: any quantile estimate
+// is within a configurable relative accuracy α (default 1%) of the
+// true rank-α quantile of the observed stream.
+//
+// Observations are mapped to geometric buckets i = ⌈log_γ v⌉ with
+// γ = (1+α)/(1−α); each bucket stores only an integer count, so the
+// sketch state is pure integers and Merge is per-bucket addition —
+// exactly associative and commutative. Like the Welford merge used for
+// multi-seed pooling, merging per-worker sketches yields byte-identical
+// results regardless of worker completion order.
+//
+// The record path is allocation-free in steady state: the dense bucket
+// store grows amortized (and only while the observed value range is
+// still expanding), so sketches on the engine/sim hot paths stay within
+// the repository's allocs-per-record guards.
+//
+// A Sketch is not safe for concurrent use; callers synchronize, as with
+// metrics.Welford.
+package sketch
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+)
+
+// DefaultAlpha is the default relative accuracy: quantile estimates are
+// within ±1% of the true value.
+const DefaultAlpha = 0.01
+
+// minIndexedValue is the smallest observation mapped to a log bucket;
+// anything below (including zero and negatives, which cannot occur for
+// latencies but are clamped defensively) lands in the zero bucket and
+// is reported as 0. At 1 ns it is far below any latency this system
+// measures.
+const minIndexedValue = 1e-9
+
+// Sketch is a mergeable quantile sketch. The zero value is not usable;
+// use New or NewDefault.
+type Sketch struct {
+	alpha       float64
+	gamma       float64
+	invLogGamma float64 // 1 / ln γ, cached for the record path
+
+	zero   uint64   // observations in [0, minIndexedValue)
+	count  uint64   // total observations, including the zero bucket
+	offset int      // bucket index of store[0]
+	store  []uint64 // dense bucket counts
+}
+
+// New returns a sketch with relative accuracy alpha (0 < alpha < 1);
+// out-of-range values fall back to DefaultAlpha.
+func New(alpha float64) *Sketch {
+	if !(alpha > 0 && alpha < 1) {
+		alpha = DefaultAlpha
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha:       alpha,
+		gamma:       gamma,
+		invLogGamma: 1 / math.Log(gamma),
+	}
+}
+
+// NewDefault returns a sketch with DefaultAlpha relative accuracy.
+func NewDefault() *Sketch { return New(DefaultAlpha) }
+
+// Alpha returns the sketch's relative accuracy (0 on nil).
+func (s *Sketch) Alpha() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.alpha
+}
+
+// Count returns the number of observations recorded (0 on nil).
+func (s *Sketch) Count() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.count
+}
+
+// Add records one observation. NaN is dropped; values below the
+// indexable floor (including non-positive values) count in the zero
+// bucket.
+func (s *Sketch) Add(v float64) { s.AddN(v, 1) }
+
+// AddN records n identical observations.
+func (s *Sketch) AddN(v float64, n uint64) {
+	if s == nil || n == 0 || math.IsNaN(v) {
+		return
+	}
+	s.count += n
+	if v < minIndexedValue {
+		s.zero += n
+		return
+	}
+	s.bump(s.index(v), n)
+}
+
+// index maps a value ≥ minIndexedValue to its bucket: the unique i with
+// γ^(i−1) < v ≤ γ^i.
+func (s *Sketch) index(v float64) int {
+	return int(math.Ceil(math.Log(v) * s.invLogGamma))
+}
+
+// value returns the representative value of bucket i: the point
+// 2γ^i/(γ+1), whose relative distance to every value in the bucket is
+// at most α.
+func (s *Sketch) value(i int) float64 {
+	return 2 * math.Pow(s.gamma, float64(i)) / (s.gamma + 1)
+}
+
+// bump adds n to bucket i, growing the dense store as needed. Growth
+// doubles capacity so steady-state recording is allocation-free once
+// the observed value range stabilizes.
+func (s *Sketch) bump(i int, n uint64) {
+	if len(s.store) == 0 {
+		if cap(s.store) == 0 {
+			s.store = make([]uint64, 1, 32)
+		} else {
+			s.store = s.store[:1]
+		}
+		s.offset = i
+		s.store[0] = n
+		return
+	}
+	if i < s.offset {
+		grow := s.offset - i
+		if grow <= cap(s.store)-len(s.store) {
+			s.store = s.store[:len(s.store)+grow]
+			copy(s.store[grow:], s.store[:len(s.store)-grow])
+			for j := 0; j < grow; j++ {
+				s.store[j] = 0
+			}
+		} else {
+			ns := make([]uint64, len(s.store)+grow, nextCap(len(s.store)+grow))
+			copy(ns[grow:], s.store)
+			s.store = ns
+		}
+		s.offset = i
+	} else if i >= s.offset+len(s.store) {
+		need := i - s.offset + 1
+		if need <= cap(s.store) {
+			tail := s.store[len(s.store):need]
+			for j := range tail {
+				tail[j] = 0
+			}
+			s.store = s.store[:need]
+		} else {
+			ns := make([]uint64, need, nextCap(need))
+			copy(ns, s.store)
+			s.store = ns
+		}
+	}
+	s.store[i-s.offset] += n
+}
+
+// nextCap doubles from the minimum required capacity, floored at 32.
+func nextCap(need int) int {
+	c := 32
+	for c < need {
+		c *= 2
+	}
+	return c
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) with nearest-rank
+// semantics: the returned value is within relative accuracy α of the
+// ⌈q·n⌉-th smallest observation. Returns 0 when empty or nil.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	fr := math.Ceil(q * float64(s.count))
+	if fr < 1 {
+		fr = 1
+	}
+	rank := uint64(fr)
+	if rank > s.count {
+		rank = s.count
+	}
+	if rank <= s.zero {
+		return 0
+	}
+	cum := s.zero
+	for j, c := range s.store {
+		cum += c
+		if cum >= rank {
+			return s.value(s.offset + j)
+		}
+	}
+	// Unreachable when counts are consistent; fall back to the top
+	// bucket.
+	return s.value(s.offset + len(s.store) - 1)
+}
+
+// CountAbove returns the number of observations recorded in buckets
+// whose representative value exceeds x — within the sketch's accuracy,
+// the count of observations greater than x. Used for SLO bad-event
+// accounting.
+func (s *Sketch) CountAbove(x float64) uint64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	var n uint64
+	for j := len(s.store) - 1; j >= 0; j-- {
+		if s.value(s.offset+j) <= x {
+			break
+		}
+		n += s.store[j]
+	}
+	return n
+}
+
+// Sum returns the deterministic estimated sum of all observations:
+// Σ countᵢ·valueᵢ over buckets in fixed index order, so the result does
+// not depend on ingest or merge order.
+func (s *Sketch) Sum() float64 {
+	if s == nil {
+		return 0
+	}
+	sum := 0.0
+	for j, c := range s.store {
+		if c > 0 {
+			sum += float64(c) * s.value(s.offset+j)
+		}
+	}
+	return sum
+}
+
+// Mean returns the estimated mean observation (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s == nil || s.count == 0 {
+		return 0
+	}
+	return s.Sum() / float64(s.count)
+}
+
+// Merge folds o into s: per-bucket integer addition, so the operation
+// is associative, commutative and — for equal-α sketches — yields
+// byte-identical state regardless of merge order. Sketches with a
+// different α are folded by re-adding their bucket representative
+// values, which preserves determinism but compounds the error bounds.
+// A nil or empty o is a no-op.
+func (s *Sketch) Merge(o *Sketch) {
+	if s == nil || o == nil || o.count == 0 {
+		return
+	}
+	if o.alpha != s.alpha {
+		s.count += o.zero
+		s.zero += o.zero
+		for j, c := range o.store {
+			if c > 0 {
+				s.count += c
+				s.bump(s.index(o.value(o.offset+j)), c)
+			}
+		}
+		return
+	}
+	s.count += o.count
+	s.zero += o.zero
+	for j, c := range o.store {
+		if c > 0 {
+			s.bump(o.offset+j, c)
+		}
+	}
+}
+
+// Clone returns an independent copy of the sketch (nil on nil).
+func (s *Sketch) Clone() *Sketch {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.store = append([]uint64(nil), s.store...)
+	return &c
+}
+
+// Reset discards all observations, keeping the bucket store's capacity
+// so subsequent recording stays allocation-free.
+func (s *Sketch) Reset() {
+	if s == nil {
+		return
+	}
+	s.zero = 0
+	s.count = 0
+	s.offset = 0
+	s.store = s.store[:0]
+}
+
+// trimmed returns the non-empty bucket range [lo, hi) of the store and
+// the index of the first retained bucket, normalizing away leading and
+// trailing zero buckets so equal contents serialize identically no
+// matter how the store grew.
+func (s *Sketch) trimmed() (buckets []uint64, firstIndex int) {
+	lo, hi := 0, len(s.store)
+	for lo < hi && s.store[lo] == 0 {
+		lo++
+	}
+	for hi > lo && s.store[hi-1] == 0 {
+		hi--
+	}
+	return s.store[lo:hi], s.offset + lo
+}
+
+// MarshalBinary serializes the sketch deterministically: two sketches
+// holding the same observations (in any order, merged in any grouping)
+// produce identical bytes. Layout: α bits, zero count, total count,
+// first bucket index, bucket count, then the bucket counts.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	if s == nil {
+		return nil, nil
+	}
+	buckets, first := s.trimmed()
+	buf := make([]byte, 0, 8*5+8*len(buckets))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(s.alpha))
+	buf = binary.BigEndian.AppendUint64(buf, s.zero)
+	buf = binary.BigEndian.AppendUint64(buf, s.count)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(int64(first)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(buckets)))
+	for _, c := range buckets {
+		buf = binary.BigEndian.AppendUint64(buf, c)
+	}
+	return buf, nil
+}
+
+// Quantiles evaluates the sketch at each q in qs, appending to dst.
+func (s *Sketch) Quantiles(dst []float64, qs []float64) []float64 {
+	for _, q := range qs {
+		dst = append(dst, s.Quantile(q))
+	}
+	return dst
+}
+
+// NearestRankOf computes the exact q-th quantile of samples with
+// nearest-rank semantics — the ⌈q·n⌉-th smallest element — without
+// mutating the input. This is the ground-truth definition the sketch's
+// relative-error bound is stated against.
+func NearestRankOf(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}

@@ -100,12 +100,28 @@ const dashHTML = `<!DOCTYPE html>
   th:first-child, td:first-child, th:nth-child(2), td:nth-child(2) { text-align: left; }
   .drifting { color: #e5484d; font-weight: 600; }
   .ok { color: #4cc38a; }
+  #tails { display: grid; grid-template-columns: repeat(auto-fill, minmax(240px, 1fr));
+           gap: 12px; }
+  .gauge { display: inline-block; width: 90px; height: 9px; background: #2a2f3a;
+           border-radius: 5px; overflow: hidden; vertical-align: middle; margin-right: 6px; }
+  .gauge div { height: 100%; background: #4cc38a; }
+  .gauge .warn { background: #f5a623; }
+  .gauge .bad { background: #e5484d; }
 </style>
 </head>
 <body>
 <h1>nephelix telemetry</h1>
 <div id="status">connecting…</div>
 <div id="drift"></div>
+<h1>tail latency</h1>
+<div id="tails"></div>
+<table id="slo" style="display:none">
+  <thead><tr><th>constraint</th><th>target</th><th>estimate (ms)</th>
+    <th>bad fraction</th><th>error budget</th><th>burn rate</th>
+    <th>violations</th><th>status</th></tr></thead>
+  <tbody></tbody>
+</table>
+<h1 style="margin-top:20px">telemetry</h1>
 <div id="charts"></div>
 <h1 style="margin-top:20px">prediction residuals</h1>
 <table id="residuals">
@@ -119,10 +135,13 @@ const dashHTML = `<!DOCTYPE html>
 const palette = ["#4c9aff","#4cc38a","#f5a623","#e5484d","#b388ff",
                  "#26c6da","#ff8a65","#9ccc65","#f06292","#a1887f"];
 const charts = document.getElementById("charts");
-const cards = new Map(); // series name -> {card, canvas, legend}
+const tails = document.getElementById("tails");
+const cards = new Map(); // host id + series name -> {card, canvas, legend}
 
-function card(name) {
-  let c = cards.get(name);
+function card(name, host) {
+  host = host || charts;
+  const key = host.id + "|" + name;
+  let c = cards.get(key);
   if (c) return c;
   const div = document.createElement("div");
   div.className = "card";
@@ -132,9 +151,9 @@ function card(name) {
   const legend = document.createElement("div");
   legend.className = "legend";
   div.append(h, canvas, legend);
-  charts.appendChild(div);
+  host.appendChild(div);
   c = {card: div, canvas, legend};
-  cards.set(name, c);
+  cards.set(key, c);
   return c;
 }
 
@@ -150,8 +169,8 @@ function fmt(v) {
   return +v.toFixed(4) + "";
 }
 
-function drawGroup(name, group) {
-  const {canvas, legend} = card(name);
+function drawGroup(name, group, host) {
+  const {canvas, legend} = card(name, host);
   const dpr = window.devicePixelRatio || 1;
   const w = canvas.clientWidth || 320, h = 120;
   canvas.width = w * dpr; canvas.height = h * dpr;
@@ -195,12 +214,56 @@ function drawGroup(name, group) {
     ' <span style="float:right">[' + fmt(vMin) + " … " + fmt(vMax) + "]</span>";
 }
 
+const tailSeries = "nephelix_tail_e2e_seconds";
+
+function gauge(frac, cls) {
+  const pct = Math.max(0, Math.min(1, frac)) * 100;
+  return '<span class="gauge"><div class="' + cls + '" style="width:' +
+    pct.toFixed(0) + '%"></div></span>';
+}
+
+function renderSLO(targets) {
+  const table = document.getElementById("slo");
+  if (!targets.length) { table.style.display = "none"; return; }
+  table.style.display = "table";
+  const tbody = table.querySelector("tbody");
+  tbody.innerHTML = "";
+  for (const t of targets) {
+    const budget = t.error_budget_remaining;
+    const bCls = budget > 0.5 ? "" : budget > 0 ? "warn" : "bad";
+    const burn = t.burn_rate || 0;
+    const brCls = burn <= 1 ? "" : burn <= 2 ? "warn" : "bad";
+    const status = t.violated ? '<span class="drifting">violated</span>'
+                              : '<span class="ok">ok</span>';
+    const tr = document.createElement("tr");
+    tr.innerHTML = "<td>" + t.constraint + "</td><td>p" +
+      (t.quantile * 100).toFixed(1).replace(/\.?0+$/, "") + " ≤ " +
+      fmt(t.bound_seconds * 1000) + " ms</td><td>" +
+      fmt(t.estimate_seconds * 1000) + "</td><td>" + fmt(t.bad_fraction) +
+      "</td><td>" + gauge(budget, bCls) + fmt(budget) +
+      "</td><td>" + gauge(burn / 4, brCls) + fmt(burn) +
+      "</td><td>" + (t.violations || 0) + "</td><td>" + status + "</td>";
+    tbody.appendChild(tr);
+  }
+}
+
 function render(snap) {
   const groups = new Map();
+  const tailByQ = new Map();
   for (const s of snap.series || []) {
+    if (s.name === tailSeries) {
+      const q = (s.labels || {}).q || "?";
+      if (!tailByQ.has(q)) tailByQ.set(q, []);
+      tailByQ.get(q).push(s);
+      continue; // rendered in the tail panel, not the main grid
+    }
     if (!groups.has(s.name)) groups.set(s.name, []);
     groups.get(s.name).push(s);
   }
+  for (const q of ["p50", "p90", "p95", "p99", "p999"]) {
+    if (tailByQ.has(q)) drawGroup("e2e " + q, tailByQ.get(q), tails);
+  }
+  renderSLO(snap.slo || []);
   for (const [name, group] of groups) drawGroup(name, group);
 
   const drift = snap.drift || [];

@@ -32,6 +32,10 @@ const (
 	KindCheckpointAbort  = "checkpoint_abort"
 	// KindReplay audits one source-replay round after a recovery.
 	KindReplay = "replay"
+	// KindSLOViolation marks a per-constraint tail-latency SLO crossing
+	// from met to violated: the tracked percentile estimate exceeded the
+	// constraint's bound. Recorded once per transition, not per interval.
+	KindSLOViolation = "slo_violation"
 )
 
 // Event is one entry of the flight recorder. Time is seconds since the
@@ -158,6 +162,15 @@ type Lifecycle struct {
 	// CommittedOffsets is the sum of the committed source watermarks
 	// (checkpoint_commit) or the number of records re-emitted (replay).
 	CommittedOffsets uint64 `json:"committed_offsets,omitempty"`
+	// Tail-latency SLO fields (slo_violation events): the constraint
+	// name travels in Reason-free form here, the tracked quantile, its
+	// current estimate, the constraint bound, and the burn rate over the
+	// sliding window at transition time.
+	Constraint      string  `json:"constraint,omitempty"`
+	Quantile        float64 `json:"quantile,omitempty"`
+	EstimateSeconds float64 `json:"estimate_seconds,omitempty"`
+	BoundSeconds    float64 `json:"bound_seconds,omitempty"`
+	BurnRate        float64 `json:"burn_rate,omitempty"`
 }
 
 // jsonSafe clamps non-finite floats so event payloads always marshal:

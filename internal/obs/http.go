@@ -20,15 +20,18 @@ type Metric struct {
 	Name string
 	// Help is the one-line # HELP text (optional).
 	Help string
-	// Type is "gauge", "counter" or "histogram" (default "gauge").
+	// Type is "gauge", "counter", "histogram" or "summary" (default
+	// "gauge").
 	Type string
 	// Labels are rendered sorted by key, with values escaped per the
 	// exposition format.
 	Labels map[string]string
 	Value  float64
 	// Histogram samples (Type "histogram") render _bucket/_sum/_count
-	// lines from these fields instead of Value.
+	// lines from these fields instead of Value; summaries (Type
+	// "summary") render Quantiles plus _sum/_count.
 	Buckets     []BucketCount
+	Quantiles   []SummaryQuantile
 	Sum         float64
 	SampleCount uint64
 }
@@ -38,6 +41,12 @@ type Metric struct {
 type BucketCount struct {
 	UpperBound      float64
 	CumulativeCount uint64
+}
+
+// SummaryQuantile is one φ-quantile sample of a summary metric.
+type SummaryQuantile struct {
+	Quantile float64
+	Value    float64
 }
 
 // ServerConfig wires the introspection endpoints to a run's state. All
@@ -77,6 +86,12 @@ func NewHandler(cfg ServerConfig) http.Handler {
 		maxPoints, _ := strconv.Atoi(q.Get("n"))
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		_ = json.NewEncoder(w).Encode(cfg.Telemetry.Snapshot(q.Get("name"), since, maxPoints))
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = json.NewEncoder(w).Encode(struct {
+			Targets []SLOStatus `json:"targets"`
+		}{Targets: cfg.Telemetry.SLOSnapshot()})
 	})
 	mux.HandleFunc("/dash", serveDashPage)
 	mux.HandleFunc("/dash/sse", func(w http.ResponseWriter, r *http.Request) {
@@ -161,6 +176,10 @@ func writeMetrics(w io.Writer, ms []Metric) {
 			writeHistogram(w, m)
 			continue
 		}
+		if m.Type == "summary" {
+			writeSummary(w, m)
+			continue
+		}
 		if labels := formatLabels(m.Labels, "", ""); labels != "" {
 			fmt.Fprintf(w, "%s{%s} %s\n", m.Name, labels, formatValue(m.Value))
 		} else {
@@ -177,6 +196,24 @@ func writeHistogram(w io.Writer, m Metric) {
 	}
 	labels := formatLabels(m.Labels, "le", "+Inf")
 	fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.Name, labels, m.SampleCount)
+	if base := formatLabels(m.Labels, "", ""); base != "" {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", m.Name, base, formatValue(m.Sum))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", m.Name, base, m.SampleCount)
+	} else {
+		fmt.Fprintf(w, "%s_sum %s\n", m.Name, formatValue(m.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", m.Name, m.SampleCount)
+	}
+}
+
+// writeSummary renders one summary's quantile/_sum/_count lines. The
+// quantile label value goes through the same escaper as every other
+// label (a hostile float formatting can't smuggle quotes, but the
+// uniformity keeps the invariant greppable).
+func writeSummary(w io.Writer, m Metric) {
+	for _, qv := range m.Quantiles {
+		labels := formatLabels(m.Labels, "quantile", formatValue(qv.Quantile))
+		fmt.Fprintf(w, "%s{%s} %s\n", m.Name, labels, formatValue(qv.Value))
+	}
 	if base := formatLabels(m.Labels, "", ""); base != "" {
 		fmt.Fprintf(w, "%s_sum{%s} %s\n", m.Name, base, formatValue(m.Sum))
 		fmt.Fprintf(w, "%s_count{%s} %d\n", m.Name, base, m.SampleCount)

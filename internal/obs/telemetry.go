@@ -6,6 +6,8 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"nephelix/internal/core"
@@ -28,12 +30,17 @@ type Telemetry struct {
 
 	// Hot-path and per-tick handles, cached at construction.
 	e2e       *ts.Series
+	e2eTail   *ts.Series // quantile sketch over the same sampled stream
 	intervals *ts.Series
 	decisions *ts.Series
 	scaleUps  *ts.Series
 	scaleDown *ts.Series
 	holds     *ts.Series
 	infeas    *ts.Series
+
+	// tailGauges publish the e2e sketch's quantiles per interval, one
+	// gauge per ts.DefaultQuantiles entry, for the dashboard sparklines.
+	tailGauges []*ts.Series
 
 	// Processing-guarantee series (checkpoint lifecycle, replay, dedup).
 	ckptDur       *ts.Series
@@ -44,25 +51,65 @@ type Telemetry struct {
 	replayed      *ts.Series
 	deduped       *ts.Series
 
+	// slo accumulates per-constraint error-budget state; sloHandles
+	// caches the per-constraint gauge/counter series.
+	slo     *SLOTracker
+	sloMu   sync.Mutex
+	sloOut  map[string]*sloSeries
+	targets []SLOTarget // last targets observed, for /slo on quiet runs
+
+	// Per-hop latency sketches, cached per edge/vertex identity so the
+	// sampled data-plane path does only map lookups (no allocation).
+	hopMu      sync.Mutex
+	hopEdges   map[string]*hopSeries
+	hopService map[string]*ts.Series
+
 	mu       sync.Mutex
 	resHists map[ResidualKey]*ts.Series
+}
+
+// hopSeries bundles one edge's per-hop latency sketches.
+type hopSeries struct {
+	batch   *ts.Series
+	transit *ts.Series
+	wait    *ts.Series
+}
+
+// sloSeries bundles one constraint's SLO output series.
+type sloSeries struct {
+	budget     *ts.Series
+	burn       *ts.Series
+	estimate   *ts.Series
+	bound      *ts.Series
+	violations *ts.Series
 }
 
 // NewTelemetry returns an enabled telemetry plane whose series keep
 // pointsPerSeries points each (ts.DefaultPoints when <= 0).
 func NewTelemetry(pointsPerSeries int) *Telemetry {
 	st := ts.NewStore(pointsPerSeries)
+	tailGauges := make([]*ts.Series, len(ts.DefaultQuantiles))
+	for i, q := range ts.DefaultQuantiles {
+		tailGauges[i] = st.Gauge("nephelix_tail_e2e_seconds",
+			map[string]string{"q": quantileLabel(q)})
+	}
 	return &Telemetry{
-		store:     st,
-		res:       NewResidualMonitor(ResidualConfig{}),
-		e2e:       st.Histogram("nephelix_e2e_latency_seconds", nil, ts.LatencyBuckets),
-		intervals: st.Counter("nephelix_adjust_intervals_total", nil),
-		decisions: st.Counter("nephelix_scaler_decisions_total", nil),
-		scaleUps:  st.Counter("nephelix_scaler_scale_ups_total", nil),
-		scaleDown: st.Counter("nephelix_scaler_scale_downs_total", nil),
-		holds:     st.Counter("nephelix_scaler_holds_total", nil),
-		infeas:    st.Counter("nephelix_scaler_infeasible_total", nil),
-		resHists:  make(map[ResidualKey]*ts.Series),
+		store:      st,
+		res:        NewResidualMonitor(ResidualConfig{}),
+		e2e:        st.Histogram("nephelix_e2e_latency_seconds", nil, ts.LatencyBuckets),
+		e2eTail:    st.SketchSeries("nephelix_e2e_latency_tail_seconds", nil, 0),
+		tailGauges: tailGauges,
+		slo:        NewSLOTracker(0),
+		sloOut:     make(map[string]*sloSeries),
+		hopEdges:   make(map[string]*hopSeries),
+		hopService: make(map[string]*ts.Series),
+		intervals:  st.Counter("nephelix_adjust_intervals_total", nil),
+		decisions:  st.Counter("nephelix_scaler_decisions_total", nil),
+		scaleUps:   st.Counter("nephelix_scaler_scale_ups_total", nil),
+		scaleDown:  st.Counter("nephelix_scaler_scale_downs_total", nil),
+		holds:      st.Counter("nephelix_scaler_holds_total", nil),
+		infeas:     st.Counter("nephelix_scaler_infeasible_total", nil),
+		resHists:   make(map[ResidualKey]*ts.Series),
 
 		ckptDur:       st.Gauge("nephelix_checkpoint_duration_seconds", nil),
 		ckptInterval:  st.Gauge("nephelix_checkpoint_interval_seconds", nil),
@@ -129,13 +176,132 @@ func (t *Telemetry) Residuals() *ResidualMonitor {
 }
 
 // ObserveE2E feeds one sampled end-to-end record latency (seconds) into
-// the e2e histogram. Called at span finish; allocation-free after the
-// first observation.
+// the e2e histogram and the e2e quantile sketch. Called at span finish;
+// allocation-free after the first observation.
 func (t *Telemetry) ObserveE2E(now, latency float64) {
 	if t == nil {
 		return
 	}
 	t.e2e.Observe(now, latency)
+	t.e2eTail.Observe(now, latency)
+}
+
+// ObserveHop feeds one sampled record's hop decomposition into the
+// per-edge and per-vertex latency sketches: batch delay, transit and
+// queue wait on the edge into vertex, service time in the vertex.
+// Called next to Span.Hop for head-sampled records only; the cached
+// handle maps keep the path allocation-free after each identity's
+// first observation.
+func (t *Telemetry) ObserveHop(now float64, vertex, edge string, batch, transit, wait, service float64) {
+	if t == nil {
+		return
+	}
+	t.hopMu.Lock()
+	hs := t.hopEdges[edge]
+	if hs == nil {
+		labels := map[string]string{"edge": edge}
+		hs = &hopSeries{
+			batch:   t.store.SketchSeries("nephelix_hop_batch_delay_seconds", labels, 0),
+			transit: t.store.SketchSeries("nephelix_hop_transit_seconds", labels, 0),
+			wait:    t.store.SketchSeries("nephelix_hop_queue_wait_seconds", labels, 0),
+		}
+		t.hopEdges[edge] = hs
+	}
+	sv := t.hopService[vertex]
+	if sv == nil {
+		sv = t.store.SketchSeries("nephelix_hop_service_seconds",
+			map[string]string{"vertex": vertex}, 0)
+		t.hopService[vertex] = sv
+	}
+	t.hopMu.Unlock()
+	hs.batch.Observe(now, batch)
+	hs.transit.Observe(now, transit)
+	hs.wait.Observe(now, wait)
+	sv.Observe(now, service)
+}
+
+// ObserveSLO folds one adjustment interval's tail state for one target:
+// count cumulative observations, bad of them over the bound, estimate
+// the current quantile. It publishes the error-budget gauges and, on a
+// met→violated transition, bumps the violation counter and records a
+// KindSLOViolation event on rec (which may be nil).
+func (t *Telemetry) ObserveSLO(now float64, target SLOTarget, count, bad uint64, estimate float64, rec *Recorder) {
+	if t == nil {
+		return
+	}
+	st, transition := t.slo.Observe(target, count, bad, estimate)
+	out := t.sloSeriesFor(target.Constraint)
+	out.budget.Set(now, st.ErrorBudgetRemaining)
+	out.burn.Set(now, st.BurnRate)
+	out.estimate.Set(now, st.EstimateSeconds)
+	out.bound.Set(now, target.BoundSeconds)
+	if transition {
+		out.violations.Add(now, 1)
+		rec.RecordLifecycle(now, KindSLOViolation, Lifecycle{
+			Constraint:      target.Constraint,
+			Quantile:        target.Quantile,
+			EstimateSeconds: st.EstimateSeconds,
+			BoundSeconds:    target.BoundSeconds,
+			BurnRate:        jsonSafe(st.BurnRate),
+		})
+	}
+}
+
+// ObserveSLOs folds one interval's tail state for every target against
+// the telemetry's own end-to-end sketch (the sampled sink stream).
+// Runtimes with per-constraint probes call ObserveSLO directly with
+// probe-derived counts instead.
+func (t *Telemetry) ObserveSLOs(now float64, targets []SLOTarget, rec *Recorder) {
+	if t == nil || len(targets) == 0 {
+		return
+	}
+	t.sloMu.Lock()
+	t.targets = targets
+	t.sloMu.Unlock()
+	for _, tg := range targets {
+		count := t.e2eTail.SketchCount()
+		bad := t.e2eTail.CountAbove(tg.BoundSeconds)
+		est := t.e2eTail.Quantile(tg.Quantile)
+		t.ObserveSLO(now, tg, count, bad, est, rec)
+	}
+}
+
+// sloSeriesFor returns the cached output series of one constraint.
+func (t *Telemetry) sloSeriesFor(constraint string) *sloSeries {
+	t.sloMu.Lock()
+	defer t.sloMu.Unlock()
+	out := t.sloOut[constraint]
+	if out == nil {
+		labels := map[string]string{"constraint": constraint}
+		out = &sloSeries{
+			budget:     t.store.Gauge("nephelix_slo_error_budget_remaining", labels),
+			burn:       t.store.Gauge("nephelix_slo_burn_rate", labels),
+			estimate:   t.store.Gauge("nephelix_slo_estimate_seconds", labels),
+			bound:      t.store.Gauge("nephelix_slo_bound_seconds", labels),
+			violations: t.store.Counter("nephelix_slo_violations_total", labels),
+		}
+		t.sloOut[constraint] = out
+	}
+	return out
+}
+
+// SLOSnapshot returns every tracked target's latest status, sorted by
+// constraint (empty, non-nil, when disabled or before the first
+// interval).
+func (t *Telemetry) SLOSnapshot() []SLOStatus {
+	if t == nil {
+		return []SLOStatus{}
+	}
+	if s := t.slo.Snapshot(); s != nil {
+		return s
+	}
+	return []SLOStatus{}
+}
+
+// quantileLabel renders 0.99 as "p99", 0.999 as "p999".
+func quantileLabel(q float64) string {
+	s := strconv.FormatFloat(q*100, 'f', -1, 64)
+	return "p" + strings.ReplaceAll(s, ".", "")
 }
 
 // ObserveInterval scrapes one adjustment interval: it scores the
@@ -155,8 +321,20 @@ func (t *Telemetry) ObserveInterval(now float64, s *qos.Summary, d *core.Decisio
 	t.scrapeResiduals(now)
 	t.scrapeSummary(now, s, par)
 	t.scrapeDecision(now, d)
+	t.scrapeTail(now)
 	t.scrapeRuntime(now)
 	return flags
+}
+
+// scrapeTail publishes the e2e sketch's quantiles as per-interval
+// gauges, so the dashboard can draw p50/p95/p99/p999 sparklines.
+func (t *Telemetry) scrapeTail(now float64) {
+	if t.e2eTail.SketchCount() == 0 {
+		return
+	}
+	for i, q := range ts.DefaultQuantiles {
+		t.tailGauges[i].Set(now, t.e2eTail.Quantile(q))
+	}
 }
 
 // residualHist returns the per-cell |residual| histogram, cached.
@@ -298,6 +476,16 @@ func (t *Telemetry) ExpositionMetrics() []Metric {
 			for i, b := range sn.Buckets {
 				m.Buckets[i] = BucketCount{UpperBound: b.LE, CumulativeCount: b.Count}
 			}
+		case "sketch":
+			// Sketch series render as Prometheus summaries: one sample
+			// per exposed quantile plus _sum/_count.
+			m.Type = "summary"
+			m.Sum = sn.Sum
+			m.SampleCount = sn.Count
+			m.Quantiles = make([]SummaryQuantile, len(sn.Quantiles))
+			for i, qv := range sn.Quantiles {
+				m.Quantiles[i] = SummaryQuantile{Quantile: qv.Quantile, Value: qv.Value}
+			}
 		default:
 			if n := len(sn.Points); n > 0 {
 				m.Value = sn.Points[n-1].V
@@ -314,6 +502,9 @@ type TimeseriesSnapshot struct {
 	Series    []ts.SeriesSnapshot `json:"series"`
 	Residuals []ResidualStat      `json:"residuals"`
 	Drift     []DriftFlag         `json:"drift,omitempty"`
+	// SLO carries the per-constraint error-budget statuses so the
+	// dashboard's tail panel renders burn rates live.
+	SLO []SLOStatus `json:"slo,omitempty"`
 }
 
 // Snapshot renders the query (see ts.Store.Query for the parameters)
@@ -331,6 +522,7 @@ func (t *Telemetry) Snapshot(prefix string, since float64, maxPoints int) Timese
 		snap.Residuals = r
 	}
 	snap.Drift = t.res.DriftFlags()
+	snap.SLO = t.slo.Snapshot()
 	return snap
 }
 

@@ -34,6 +34,21 @@ func TestObsExpositionGolden(t *testing.T) {
 			Labels:  map[string]string{"vertex": "v"},
 			Buckets: []BucketCount{{UpperBound: 0.01, CumulativeCount: 1}, {UpperBound: 0.1, CumulativeCount: 3}},
 			Sum:     0.25, SampleCount: 4},
+		// Summary: quantile label appended after the escaped base labels.
+		{Name: "app_latency", Help: "A summary.", Type: "summary",
+			Labels:    map[string]string{"path": `t"x`},
+			Quantiles: []SummaryQuantile{{Quantile: 0.5, Value: 0.01}, {Quantile: 0.99, Value: 0.05}},
+			Sum:       1.25, SampleCount: 10},
+		// Same summary identity again: dropped like any other duplicate.
+		{Name: "app_latency", Type: "summary",
+			Labels:    map[string]string{"path": `t"x`},
+			Quantiles: []SummaryQuantile{{Quantile: 0.5, Value: 9}},
+			Sum:       9, SampleCount: 9},
+		// Same name, different identity: rendered, but HELP/TYPE are not
+		// re-emitted (first occurrence wins for the whole name).
+		{Name: "app_latency", Help: "ignored (first HELP wins).", Type: "summary",
+			Quantiles: []SummaryQuantile{{Quantile: 0.999, Value: 0.2}},
+			Sum:       0.2, SampleCount: 1},
 	}
 	var b strings.Builder
 	writeMetrics(&b, ms)
@@ -50,6 +65,15 @@ app_hist_bucket{vertex="v",le="0.1"} 3
 app_hist_bucket{vertex="v",le="+Inf"} 4
 app_hist_sum{vertex="v"} 0.25
 app_hist_count{vertex="v"} 4
+# HELP app_latency A summary.
+# TYPE app_latency summary
+app_latency{path="t\"x",quantile="0.5"} 0.01
+app_latency{path="t\"x",quantile="0.99"} 0.05
+app_latency_sum{path="t\"x"} 1.25
+app_latency_count{path="t\"x"} 10
+app_latency{quantile="0.999"} 0.2
+app_latency_sum 0.2
+app_latency_count 1
 `
 	if b.String() != want {
 		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)

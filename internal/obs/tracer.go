@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"nephelix/internal/metrics"
+	"nephelix/internal/metrics/sketch"
 	"nephelix/internal/model"
 	"nephelix/internal/qos"
 )
@@ -32,10 +33,12 @@ type Tracer struct {
 	vertices map[string]*vertexTrace
 	edges    map[string]*edgeTrace
 	e2e      metrics.Welford
+	e2eSk    *sketch.Sketch
 }
 
 type vertexTrace struct {
-	service metrics.Welford
+	service   metrics.Welford
+	serviceSk *sketch.Sketch
 }
 
 type edgeTrace struct {
@@ -43,6 +46,7 @@ type edgeTrace struct {
 	transit   metrics.Welford // ship → delivery
 	queueWait metrics.Welford // delivery → service start (W)
 	channel   metrics.Welford // batch + transit + queueWait (l)
+	channelSk *sketch.Sketch  // tail decomposition of the channel latency
 }
 
 // NewTracer returns a tracer sampling every Nth source emission.
@@ -51,6 +55,7 @@ func NewTracer(every int) *Tracer {
 	tr := &Tracer{
 		vertices: make(map[string]*vertexTrace),
 		edges:    make(map[string]*edgeTrace),
+		e2eSk:    sketch.NewDefault(),
 	}
 	if every > 0 {
 		tr.every = uint64(every)
@@ -107,19 +112,21 @@ func (s *Span) Hop(vertex, edge string, batchDelay, transit, queueWait, service 
 	defer tr.mu.Unlock()
 	vt := tr.vertices[vertex]
 	if vt == nil {
-		vt = &vertexTrace{}
+		vt = &vertexTrace{serviceSk: sketch.NewDefault()}
 		tr.vertices[vertex] = vt
 	}
 	vt.service.Add(service)
+	vt.serviceSk.Add(service)
 	et := tr.edges[edge]
 	if et == nil {
-		et = &edgeTrace{}
+		et = &edgeTrace{channelSk: sketch.NewDefault()}
 		tr.edges[edge] = et
 	}
 	et.batch.Add(batchDelay)
 	et.transit.Add(transit)
 	et.queueWait.Add(queueWait)
 	et.channel.Add(batchDelay + transit + queueWait)
+	et.channelSk.Add(batchDelay + transit + queueWait)
 }
 
 // Finish records the traced record's end-to-end latency at a sink.
@@ -129,6 +136,7 @@ func (s *Span) Finish(now float64) {
 	}
 	s.tr.mu.Lock()
 	s.tr.e2e.Add(now - s.start)
+	s.tr.e2eSk.Add(now - s.start)
 	s.tr.mu.Unlock()
 }
 

@@ -1,13 +1,14 @@
 // Package ts is a typed in-memory time-series store: named counter,
-// gauge and histogram series holding their recent points in
-// fixed-capacity rings. The telemetry layer (internal/obs) scrapes the
-// QoS plane into it every adjustment interval; the /timeseries endpoint
-// and the SSE dashboard read it back out.
+// gauge, histogram and quantile-sketch series holding their recent
+// points in fixed-capacity rings. The telemetry layer (internal/obs)
+// scrapes the QoS plane into it every adjustment interval; the
+// /timeseries endpoint and the SSE dashboard read it back out.
 //
-// The package is deliberately dependency-free (it must not import obs,
-// core or qos) and follows the obs layer's nil-receiver contract: every
-// method on a nil *Store or nil *Series is a no-op, so a disabled
-// telemetry path costs one pointer comparison and zero allocations.
+// The package depends only on internal/metrics/sketch (it must not
+// import obs, core or qos) and follows the obs layer's nil-receiver
+// contract: every method on a nil *Store or nil *Series is a no-op, so
+// a disabled telemetry path costs one pointer comparison and zero
+// allocations.
 package ts
 
 import (
@@ -15,6 +16,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"nephelix/internal/metrics/sketch"
 )
 
 // Kind discriminates the series types.
@@ -29,6 +32,11 @@ const (
 	// Histogram series bucket observations against fixed upper bounds
 	// and additionally keep the raw observations in the ring.
 	Histogram
+	// Sketch series feed observations into a DDSketch-style quantile
+	// sketch with a fixed relative-error bound and additionally keep
+	// the raw observations in the ring. They render as Prometheus
+	// summaries.
+	Sketch
 )
 
 // String returns the kind name used in JSON snapshots.
@@ -40,10 +48,16 @@ func (k Kind) String() string {
 		return "gauge"
 	case Histogram:
 		return "histogram"
+	case Sketch:
+		return "sketch"
 	default:
 		return "unknown"
 	}
 }
+
+// DefaultQuantiles are the quantiles exposed in sketch snapshots and
+// Prometheus summary lines.
+var DefaultQuantiles = []float64{0.5, 0.9, 0.95, 0.99, 0.999}
 
 // DefaultPoints is the ring capacity used when NewStore is given a
 // non-positive one.
@@ -77,11 +91,12 @@ type Series struct {
 	next int
 	full bool
 
-	total  float64   // counters: running sum
-	bounds []float64 // histograms: bucket upper bounds (sorted)
-	counts []uint64  // histograms: per-bucket counts, counts[len(bounds)] = overflow
-	sum    float64   // histograms: sum of observations
-	count  uint64    // histograms: number of observations
+	total  float64        // counters: running sum
+	bounds []float64      // histograms: bucket upper bounds (sorted)
+	counts []uint64       // histograms: per-bucket counts, counts[len(bounds)] = overflow
+	sum    float64        // histograms: sum of observations
+	count  uint64         // histograms: number of observations
+	sk     *sketch.Sketch // sketch series: the quantile sketch
 }
 
 // Name returns the series name ("" on nil).
@@ -115,19 +130,73 @@ func (s *Series) Set(t, v float64) {
 	s.mu.Unlock()
 }
 
-// Observe records one histogram observation at time t. It is a no-op on
-// nil receivers and non-histogram series.
+// Observe records one observation at time t into a histogram or sketch
+// series. It is a no-op on nil receivers and other kinds.
 func (s *Series) Observe(t, v float64) {
-	if s == nil || s.kind != Histogram {
+	if s == nil {
 		return
 	}
+	switch s.kind {
+	case Histogram:
+		s.mu.Lock()
+		i := sort.SearchFloat64s(s.bounds, v) // first bound >= v
+		s.counts[i]++
+		s.sum += v
+		s.count++
+		s.push(t, v)
+		s.mu.Unlock()
+	case Sketch:
+		s.mu.Lock()
+		s.sk.Add(v)
+		s.push(t, v)
+		s.mu.Unlock()
+	}
+}
+
+// Quantile evaluates a sketch series at quantile q (0 on nil receivers
+// and non-sketch series).
+func (s *Series) Quantile(q float64) float64 {
+	if s == nil || s.kind != Sketch {
+		return 0
+	}
 	s.mu.Lock()
-	i := sort.SearchFloat64s(s.bounds, v) // first bound >= v
-	s.counts[i]++
-	s.sum += v
-	s.count++
-	s.push(t, v)
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	return s.sk.Quantile(q)
+}
+
+// SketchCount returns the number of observations a sketch series has
+// recorded (0 on nil receivers and non-sketch series).
+func (s *Series) SketchCount() uint64 {
+	if s == nil || s.kind != Sketch {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sk.Count()
+}
+
+// CountAbove returns the number of observations of a sketch series
+// above x, within the sketch's relative accuracy (0 on nil receivers
+// and non-sketch series). Used for SLO bad-event accounting.
+func (s *Series) CountAbove(x float64) uint64 {
+	if s == nil || s.kind != Sketch {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sk.CountAbove(x)
+}
+
+// SketchClone returns an independent copy of a sketch series' sketch
+// for offline analysis or cross-run pooling (nil on nil receivers and
+// non-sketch series).
+func (s *Series) SketchClone() *sketch.Sketch {
+	if s == nil || s.kind != Sketch {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sk.Clone()
 }
 
 // Value returns the latest recorded value: the running total for
@@ -203,6 +272,14 @@ func (s *Series) snapshot(since float64, maxPoints int) SeriesSnapshot {
 			cum += s.counts[i]
 			snap.Buckets[i] = Bucket{LE: b, Count: cum}
 		}
+	case Sketch:
+		snap.Sum = s.sk.Sum()
+		snap.Count = s.sk.Count()
+		snap.Alpha = s.sk.Alpha()
+		snap.Quantiles = make([]QuantileValue, len(DefaultQuantiles))
+		for i, q := range DefaultQuantiles {
+			snap.Quantiles[i] = QuantileValue{Quantile: q, Value: s.sk.Quantile(q)}
+		}
 	}
 	return snap
 }
@@ -214,6 +291,12 @@ type Bucket struct {
 	Count uint64  `json:"count"`
 }
 
+// QuantileValue is one evaluated quantile of a sketch series.
+type QuantileValue struct {
+	Quantile float64 `json:"q"`
+	Value    float64 `json:"v"`
+}
+
 // SeriesSnapshot is the JSON form of one series.
 type SeriesSnapshot struct {
 	Name   string            `json:"name"`
@@ -222,10 +305,14 @@ type SeriesSnapshot struct {
 	Points []Point           `json:"points"`
 	// Total is the counter running sum (counters only).
 	Total float64 `json:"total,omitempty"`
-	// Sum, Count and Buckets describe histograms.
-	Sum     float64  `json:"sum,omitempty"`
-	Count   uint64   `json:"count,omitempty"`
-	Buckets []Bucket `json:"buckets,omitempty"`
+	// Sum, Count and Buckets describe histograms; Sum, Count, Alpha
+	// and Quantiles describe sketches (Sum is the sketch's
+	// deterministic estimate).
+	Sum       float64         `json:"sum,omitempty"`
+	Count     uint64          `json:"count,omitempty"`
+	Buckets   []Bucket        `json:"buckets,omitempty"`
+	Alpha     float64         `json:"alpha,omitempty"`
+	Quantiles []QuantileValue `json:"quantiles,omitempty"`
 }
 
 // Store holds the series of one run, keyed by name plus labels. The
@@ -250,23 +337,31 @@ func NewStore(pointsPerSeries int) *Store {
 // first use. Returns nil (a no-op series) on a nil store or when the
 // identity already exists with a different kind.
 func (st *Store) Counter(name string, labels map[string]string) *Series {
-	return st.series(name, labels, Counter, nil)
+	return st.series(name, labels, Counter, nil, 0)
 }
 
 // Gauge returns the gauge series for name+labels, creating it on first
 // use. Nil-store and kind-mismatch behave as in Counter.
 func (st *Store) Gauge(name string, labels map[string]string) *Series {
-	return st.series(name, labels, Gauge, nil)
+	return st.series(name, labels, Gauge, nil, 0)
 }
 
 // Histogram returns the histogram series for name+labels, creating it
 // with the given bucket upper bounds (sorted copy; LatencyBuckets when
 // empty) on first use. Nil-store and kind-mismatch behave as in Counter.
 func (st *Store) Histogram(name string, labels map[string]string, bounds []float64) *Series {
-	return st.series(name, labels, Histogram, bounds)
+	return st.series(name, labels, Histogram, bounds, 0)
 }
 
-func (st *Store) series(name string, labels map[string]string, kind Kind, bounds []float64) *Series {
+// SketchSeries returns the quantile-sketch series for name+labels,
+// creating it with relative accuracy alpha (sketch.DefaultAlpha when
+// non-positive) on first use. Nil-store and kind-mismatch behave as in
+// Counter.
+func (st *Store) SketchSeries(name string, labels map[string]string, alpha float64) *Series {
+	return st.series(name, labels, Sketch, nil, alpha)
+}
+
+func (st *Store) series(name string, labels map[string]string, kind Kind, bounds []float64, alpha float64) *Series {
 	if st == nil {
 		return nil
 	}
@@ -285,13 +380,19 @@ func (st *Store) series(name string, labels map[string]string, kind Kind, bounds
 				kind:   kind,
 				ring:   make([]Point, st.points),
 			}
-			if kind == Histogram {
+			switch kind {
+			case Histogram:
 				if len(bounds) == 0 {
 					bounds = LatencyBuckets
 				}
 				s.bounds = append([]float64(nil), bounds...)
 				sort.Float64s(s.bounds)
 				s.counts = make([]uint64, len(s.bounds)+1)
+			case Sketch:
+				if alpha <= 0 {
+					alpha = sketch.DefaultAlpha
+				}
+				s.sk = sketch.New(alpha)
 			}
 			st.byKey[key] = s
 		}

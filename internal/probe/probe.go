@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"nephelix/internal/metrics"
+	"nephelix/internal/metrics/sketch"
 )
 
 // Probe collects ground-truth end-to-end latencies for one constrained
@@ -25,20 +26,26 @@ type Probe struct {
 	// BoundSeconds is the constraint bound ℓ used for fulfillment
 	// accounting; 0 disables it.
 	BoundSeconds float64
+	// Tap, when set before the run starts, receives every recorded
+	// latency under the probe lock — experiments use it to capture the
+	// exact stream the sketches summarize.
+	Tap func(latency float64)
 
 	mu sync.Mutex
 
 	adj metrics.Welford // per adjustment interval
 
 	rec    metrics.Welford    // per record interval
-	recRes *metrics.Reservoir // per record interval (p95)
+	recRes *metrics.Reservoir // per record interval (raw samples)
+	recSk  *sketch.Sketch     // per record interval (p95)
 
 	// fulfillment counters over adjustment intervals with data.
 	intervals int
 	fulfilled int
 
 	total metrics.Welford
-	all   *metrics.Reservoir
+	all   *metrics.Reservoir // run-wide raw samples
+	allSk *sketch.Sketch     // run-wide quantiles + SLO accounting
 }
 
 // Record adds one end-to-end latency observation (seconds).
@@ -51,8 +58,13 @@ func (p *Probe) Record(latency float64) {
 	p.adj.Add(latency)
 	p.rec.Add(latency)
 	p.recRes.Add(latency)
+	p.recSk.Add(latency)
 	p.total.Add(latency)
 	p.all.Add(latency)
+	p.allSk.Add(latency)
+	if p.Tap != nil {
+		p.Tap(latency)
+	}
 }
 
 // AdjSnapshot closes one adjustment interval: it updates the fulfillment
@@ -71,13 +83,16 @@ func (p *Probe) AdjSnapshot() {
 }
 
 // RecSnapshot closes one record interval and returns (count, mean, p95).
+// The p95 comes from the interval's quantile sketch (deterministic,
+// ≤1% relative error); the raw-sample reservoir is reset alongside it.
 func (p *Probe) RecSnapshot() (count int64, mean, p95 float64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	count, mean = p.rec.Count(), p.rec.Mean()
-	p95 = p.recRes.Percentile(0.95)
+	p95 = p.recSk.Quantile(0.95)
 	p.rec.Reset()
 	p.recRes.Reset()
+	p.recSk.Reset()
 	return count, mean, p95
 }
 
@@ -99,12 +114,58 @@ func (p *Probe) TotalMean() float64 {
 	return p.total.Mean()
 }
 
-// TotalP95 returns the run-wide 95th percentile latency (from a large
-// uniform sample).
+// TotalP95 returns the run-wide 95th percentile latency from the
+// quantile sketch: deterministic (independent of sampling seeds) and
+// within 1% relative error of the exact value.
 func (p *Probe) TotalP95() float64 {
+	return p.TotalQuantile(0.95)
+}
+
+// TotalQuantile returns the run-wide q-th quantile latency from the
+// quantile sketch.
+func (p *Probe) TotalQuantile(q float64) float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.all.Percentile(0.95)
+	return p.allSk.Quantile(q)
+}
+
+// TailState reports the run-wide SLO accounting inputs for the probe's
+// bound: total observations, observations over the bound (within the
+// sketch's relative accuracy), and the current q-th quantile estimate.
+func (p *Probe) TailState(q float64) (count, bad uint64, estimate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	count = p.allSk.Count()
+	if p.BoundSeconds > 0 {
+		bad = p.allSk.CountAbove(p.BoundSeconds)
+	}
+	return count, bad, p.allSk.Quantile(q)
+}
+
+// TotalSketch returns an independent copy of the run-wide quantile
+// sketch, e.g. for cross-run pooling via sketch.Merge.
+func (p *Probe) TotalSketch() *sketch.Sketch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allSk.Clone()
+}
+
+// TotalSamples returns a copy of the run-wide reservoir's raw samples —
+// the sampling-based API for callers that need actual observations
+// (seed-sensitive, unlike the deterministic sketch quantiles).
+func (p *Probe) TotalSamples() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.all.Samples()
+}
+
+// ReservoirQuantile estimates the run-wide q-th quantile from the
+// raw-sample reservoir (nearest-rank over the held samples). Unlike
+// TotalQuantile it depends on the reservoir's sampling seed.
+func (p *Probe) ReservoirQuantile(q float64) float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.all.Percentile(q)
 }
 
 // TotalCount returns the number of recorded observations.
@@ -150,7 +211,9 @@ func (ps *ProbeSet) Probe(name string) *Probe {
 		p = &Probe{
 			Name:   name,
 			recRes: metrics.NewReservoir(4096, rand.New(rand.NewSource(ps.probeSeed(name, 1)))),
+			recSk:  sketch.NewDefault(),
 			all:    metrics.NewReservoir(16384, rand.New(rand.NewSource(ps.probeSeed(name, 2)))),
+			allSk:  sketch.NewDefault(),
 		}
 		ps.probes[name] = p
 	}

@@ -41,7 +41,10 @@ func TestObsProbeSamplingOrderIndependent(t *testing.T) {
 
 // TestObsProbeSamplingSeedAndNameSensitivity: different set seeds (and
 // different probe names) must still produce distinct reservoirs, so the
-// order-independence fix does not collapse all sampling onto one stream.
+// order-independence fix does not collapse all sampling onto one
+// stream. The raw-sample path is exercised via ReservoirQuantile —
+// TotalP95 now comes from the quantile sketch, which is deterministic
+// by design and must NOT vary with the sampling seed.
 func TestObsProbeSamplingSeedAndNameSensitivity(t *testing.T) {
 	feed := func(p *Probe) {
 		rng := rand.New(rand.NewSource(9))
@@ -54,15 +57,22 @@ func TestObsProbeSamplingSeedAndNameSensitivity(t *testing.T) {
 	s2 := NewProbeSetSeeded(2).Probe("alpha")
 	feed(s1)
 	feed(s2)
-	if s1.TotalP95() == s2.TotalP95() {
+	if s1.ReservoirQuantile(0.95) == s2.ReservoirQuantile(0.95) {
 		t.Error("different set seeds produced identical reservoir samples")
+	}
+	if s1.TotalP95() != s2.TotalP95() {
+		t.Errorf("sketch p95 must be seed-independent for the same stream: %v vs %v",
+			s1.TotalP95(), s2.TotalP95())
 	}
 
 	ps := NewProbeSetSeeded(1)
 	pa, pb := ps.Probe("alpha"), ps.Probe("beta")
 	feed(pa)
 	feed(pb)
-	if pa.TotalP95() == pb.TotalP95() {
+	if pa.ReservoirQuantile(0.95) == pb.ReservoirQuantile(0.95) {
 		t.Error("different probe names produced identical reservoir samples")
+	}
+	if pa.TotalP95() != pb.TotalP95() {
+		t.Error("sketch p95 must be name-independent for the same stream")
 	}
 }

@@ -2,6 +2,7 @@ package qos
 
 import (
 	"nephelix/internal/metrics"
+	"nephelix/internal/metrics/sketch"
 	"nephelix/internal/model"
 )
 
@@ -55,7 +56,27 @@ type TaskReporter struct {
 	interarrival metrics.IntervalStats
 	lastArrival  float64
 	hasArrival   bool
+	// tail, when enabled, accumulates the run-cumulative service-time
+	// distribution in a mergeable quantile sketch — the per-task tail
+	// substrate for percentile-aware scaling. Off by default: the
+	// interval reports stay mean-only and the fast path untouched.
+	tail *sketch.Sketch
 }
+
+// EnableTailTracking attaches a cumulative service-time quantile sketch
+// with relative-error bound alpha (sketch.DefaultAlpha when <= 0).
+// Unlike the interval accumulators it is NOT reset by Flush; merge
+// sketches across tasks with ServiceTail().Merge for an exact vertex
+// distribution.
+func (r *TaskReporter) EnableTailTracking(alpha float64) {
+	if r.tail == nil {
+		r.tail = sketch.New(alpha)
+	}
+}
+
+// ServiceTail returns the cumulative service-time sketch, or nil when
+// tail tracking is disabled.
+func (r *TaskReporter) ServiceTail() *sketch.Sketch { return r.tail }
 
 // NewTaskReporter creates a reporter for the given task.
 func NewTaskReporter(task model.TaskID) *TaskReporter {
@@ -82,6 +103,9 @@ func (r *TaskReporter) RecordArrival(now float64) {
 func (r *TaskReporter) RecordService(d float64) {
 	if d >= 0 {
 		r.service.Add(d)
+		if r.tail != nil {
+			r.tail.Add(d)
+		}
 	}
 }
 
@@ -111,7 +135,23 @@ type ChannelReporter struct {
 	channel      model.ChannelID
 	latency      metrics.IntervalStats
 	batchLatency metrics.IntervalStats
+	// tail mirrors TaskReporter.tail for the channel-latency
+	// distribution; nil unless EnableTailTracking was called.
+	tail *sketch.Sketch
 }
+
+// EnableTailTracking attaches a cumulative channel-latency quantile
+// sketch with relative-error bound alpha (sketch.DefaultAlpha when
+// <= 0). Not reset by Flush; mergeable across channels.
+func (r *ChannelReporter) EnableTailTracking(alpha float64) {
+	if r.tail == nil {
+		r.tail = sketch.New(alpha)
+	}
+}
+
+// LatencyTail returns the cumulative channel-latency sketch, or nil
+// when tail tracking is disabled.
+func (r *ChannelReporter) LatencyTail() *sketch.Sketch { return r.tail }
 
 // NewChannelReporter creates a reporter for the given channel.
 func NewChannelReporter(channel model.ChannelID) *ChannelReporter {
@@ -127,6 +167,9 @@ func (r *ChannelReporter) Channel() model.ChannelID { return r.channel }
 func (r *ChannelReporter) RecordTransfer(latency, batchLatency float64) {
 	if latency >= 0 {
 		r.latency.Add(latency)
+		if r.tail != nil {
+			r.tail.Add(latency)
+		}
 	}
 	if batchLatency >= 0 {
 		r.batchLatency.Add(batchLatency)

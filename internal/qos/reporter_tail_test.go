@@ -1,0 +1,121 @@
+package qos
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"nephelix/internal/metrics/sketch"
+	"nephelix/internal/model"
+)
+
+// TestReporterTailTracking covers the opt-in cumulative tail sketches on
+// the QoS reporters: nil when disabled, fed by the record fast path when
+// enabled, surviving Flush, and merging across reporters byte-identically
+// to a single-stream ingest.
+func TestReporterTailTracking(t *testing.T) {
+	tr := NewTaskReporter(model.TaskID{Vertex: "v", Index: 0})
+	cr := NewChannelReporter(model.ChannelID{Edge: model.EdgeKey{Source: "a", Target: "b"}})
+	if tr.ServiceTail() != nil || cr.LatencyTail() != nil {
+		t.Fatal("tail sketches must be nil before EnableTailTracking")
+	}
+	tr.RecordService(0.01)
+	cr.RecordTransfer(0.02, 0.001)
+
+	tr.EnableTailTracking(0)
+	cr.EnableTailTracking(0)
+	tr.EnableTailTracking(0) // idempotent
+	if tr.ServiceTail() == nil || cr.LatencyTail() == nil {
+		t.Fatal("tail sketches missing after EnableTailTracking")
+	}
+	if tr.ServiceTail().Alpha() != sketch.DefaultAlpha {
+		t.Fatalf("alpha = %v, want DefaultAlpha", tr.ServiceTail().Alpha())
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		tr.RecordService(0.001 + rng.Float64()*0.1)
+		cr.RecordTransfer(0.002+rng.Float64()*0.05, 0.001)
+	}
+	if got := tr.ServiceTail().Count(); got != 500 {
+		t.Fatalf("service tail count = %d, want 500 (pre-enable samples excluded)", got)
+	}
+	if got := cr.LatencyTail().Count(); got != 500 {
+		t.Fatalf("latency tail count = %d, want 500", got)
+	}
+
+	// Flush resets the interval accumulators but not the tail sketch.
+	tr.Flush()
+	cr.Flush()
+	if tr.ServiceTail().Count() != 500 || cr.LatencyTail().Count() != 500 {
+		t.Fatal("Flush must not reset the cumulative tail sketches")
+	}
+
+	// Negative samples are rejected on the same guard as the interval stats.
+	tr.RecordService(-1)
+	cr.RecordTransfer(-1, 0.001)
+	if tr.ServiceTail().Count() != 500 || cr.LatencyTail().Count() != 500 {
+		t.Fatal("negative samples must not reach the tail sketch")
+	}
+
+	// Merging two task reporters' tails is byte-identical to ingesting
+	// the concatenated stream into one sketch.
+	a := NewTaskReporter(model.TaskID{Vertex: "v", Index: 1})
+	b := NewTaskReporter(model.TaskID{Vertex: "v", Index: 2})
+	a.EnableTailTracking(0)
+	b.EnableTailTracking(0)
+	whole := sketch.NewDefault()
+	rng = rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		v := 0.0005 + rng.Float64()*0.2
+		if i%2 == 0 {
+			a.RecordService(v)
+		} else {
+			b.RecordService(v)
+		}
+		whole.Add(v)
+	}
+	merged := a.ServiceTail().Clone()
+	merged.Merge(b.ServiceTail())
+	mb, err := merged.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := whole.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mb, wb) {
+		t.Fatal("merged per-task tails differ from single-stream sketch")
+	}
+}
+
+// TestReporterTailFastPathAllocs pins that enabling tail tracking keeps
+// the per-record path allocation-free in steady state (after the sketch
+// bucket slab has grown to cover the value range).
+func TestReporterTailFastPathAllocs(t *testing.T) {
+	tr := NewTaskReporter(model.TaskID{Vertex: "v", Index: 0})
+	cr := NewChannelReporter(model.ChannelID{Edge: model.EdgeKey{Source: "a", Target: "b"}})
+	tr.EnableTailTracking(0)
+	cr.EnableTailTracking(0)
+
+	// Warm up: let the sketches allocate buckets for the value range.
+	for i := 1; i <= 100; i++ {
+		v := float64(i) * 0.0001
+		tr.RecordService(v)
+		cr.RecordTransfer(v, v)
+	}
+
+	now, i := 0.0, 0
+	if allocs := testing.AllocsPerRun(1000, func() {
+		now += 0.001
+		i = (i % 100) + 1
+		v := float64(i) * 0.0001
+		tr.RecordArrival(now)
+		tr.RecordService(v)
+		tr.RecordTaskLatency(v)
+		cr.RecordTransfer(v, v)
+	}); allocs != 0 {
+		t.Errorf("tail-enabled reporter fast path allocates: %.2f allocs/record, want 0", allocs)
+	}
+}

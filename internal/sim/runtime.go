@@ -15,8 +15,11 @@ import (
 type simChannel struct {
 	id   model.ChannelID
 	edge model.EdgeKey
-	from *simTask
-	to   *simTask
+	// edgeName caches edge.String() so per-sample tracing does not
+	// re-render (and re-allocate) the key on the hot path.
+	edgeName string
+	from     *simTask
+	to       *simTask
 
 	// stalled holds batches that arrived at a full consumer queue; the
 	// producer is blocked while any batch is stalled.
@@ -603,7 +606,8 @@ func (s *Sim) serviceDone(t *simTask) {
 		batchDelay := it.ShipTime - it.BufferTime
 		transit := it.arrive - it.ShipTime
 		wait := (s.now - st) - it.arrive
-		it.span.Hop(t.vtx.jv.Name, it.src.edge.String(), batchDelay, transit, wait, st)
+		it.span.Hop(t.vtx.jv.Name, it.src.edgeName, batchDelay, transit, wait, st)
+		s.cfg.Telemetry.ObserveHop(s.now, t.vtx.jv.Name, it.src.edgeName, batchDelay, transit, wait, st)
 		if len(t.gates) == 0 {
 			it.span.Finish(s.now)
 			s.cfg.Telemetry.ObserveE2E(s.now, s.now-it.span.Start())

@@ -40,6 +40,10 @@ type Sim struct {
 
 	probes *ProbeSet
 
+	// sloTargets are the per-constraint SLO targets derived from the
+	// config's constraints, used when no bounded probe covers them.
+	sloTargets []obs.SLOTarget
+
 	// batchPool is the free list of batch slices (see pool.go).
 	batchPool [][]Item
 	// ops is the event-operand arena; opFree heads its free list (-1 =
@@ -225,11 +229,40 @@ func New(cfg Config, probes *ProbeSet) (*Sim, error) {
 		}
 		s.scaler = sc
 	}
+	s.sloTargets = obs.SLOTargetsFromConstraints(cfg.Constraints)
 	s.initGuarantees()
 	if err := s.bootstrap(); err != nil {
 		return nil, err
 	}
 	return s, nil
+}
+
+// observeSLOs feeds per-constraint SLO accounting each adjustment
+// interval. Probes carry the ground-truth per-path latency stream and
+// the constraint bound, so any bounded probe drives its own SLO cell;
+// when no probe has a bound, the telemetry falls back to its sampled
+// end-to-end sketch against the configured constraints.
+func (s *Sim) observeSLOs() {
+	if s.cfg.Telemetry == nil {
+		return
+	}
+	fed := false
+	for _, name := range s.probes.Names() {
+		p := s.probes.Probe(name)
+		if p.BoundSeconds <= 0 {
+			continue
+		}
+		count, bad, est := p.TailState(obs.DefaultSLOQuantile)
+		s.cfg.Telemetry.ObserveSLO(s.now, obs.SLOTarget{
+			Constraint:   name,
+			Quantile:     obs.DefaultSLOQuantile,
+			BoundSeconds: p.BoundSeconds,
+		}, count, bad, est, s.cfg.Recorder)
+		fed = true
+	}
+	if !fed {
+		s.cfg.Telemetry.ObserveSLOs(s.now, s.sloTargets, s.cfg.Recorder)
+	}
 }
 
 // nextManager assigns reporters to managers round-robin.
@@ -493,6 +526,7 @@ func (s *Sim) adjustmentTick() {
 	// Telemetry observes before the decision is recorded so the audit
 	// event can embed the residual monitor's current drift flags.
 	drift := s.cfg.Telemetry.ObserveInterval(s.now, global, decision, par)
+	s.observeSLOs()
 	if decision != nil && s.cfg.Recorder != nil {
 		sd := obs.NewScalingDecision(s.adjustRounds, decision, par)
 		sd.Drift = drift

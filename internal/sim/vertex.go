@@ -110,11 +110,12 @@ func (s *Sim) initialGateDeadline(ec EdgeConfig, edge model.EdgeKey) float64 {
 // consumer c and registers it with the simulator.
 func (s *Sim) connect(edge model.EdgeKey, p, c *simTask, outPos int) {
 	ch := &simChannel{
-		id:   model.ChannelID{Edge: edge, Producer: p.id.Index, Consumer: c.id.Index},
-		edge: edge,
-		from: p,
-		to:   c,
-		mgr:  s.nextManager(),
+		id:       model.ChannelID{Edge: edge, Producer: p.id.Index, Consumer: c.id.Index},
+		edge:     edge,
+		edgeName: edge.String(),
+		from:     p,
+		to:       c,
+		mgr:      s.nextManager(),
 	}
 	ch.reporter = qos.NewChannelReporter(ch.id)
 	g := p.gates[outPos]
