@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"nephelix/internal/ckpt"
+	"nephelix/internal/engine"
 	"nephelix/internal/experiments"
 	"nephelix/internal/obs"
 	"nephelix/internal/sim"
@@ -52,6 +53,7 @@ func main() {
 	ckptInterval := flag.Float64("ckpt.interval", 1, "checkpoint interval in virtual seconds (guaranteed faults run)")
 	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /slo, /dash, /debug/pprof, /scaler/decisions) on this address")
 	obsLinger := flag.Duration("obs.linger", 0, "keep the introspection server alive this long after the experiments finish (for scraping a completed run)")
+	engine.RegisterFlags(flag.CommandLine) // -engine.shards, -engine.wheel (live-engine bench runs)
 	flag.Parse()
 
 	if *obsAddr != "" {

@@ -19,6 +19,7 @@ import (
 
 	"nephelix/internal/apps"
 	"nephelix/internal/ckpt"
+	"nephelix/internal/engine"
 	"nephelix/internal/experiments"
 	"nephelix/internal/obs"
 	"nephelix/internal/sim"
@@ -39,6 +40,7 @@ func main() {
 	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /slo, /dash, /debug/pprof, /scaler/decisions) on this address")
 	decisionsPath := flag.String("decisions", "", "write the scaler's decision audit trail to this JSONL file")
 	timeseriesPath := flag.String("timeseries", "", "write the telemetry time series and residual stats to this JSON file")
+	engine.RegisterFlags(flag.CommandLine) // -engine.shards, -engine.wheel (live-engine runs)
 	flag.Parse()
 
 	g, err := ckpt.ParseGuarantee(*guarantee)

@@ -17,6 +17,7 @@ import (
 
 	"nephelix/internal/apps"
 	"nephelix/internal/ckpt"
+	"nephelix/internal/engine"
 	"nephelix/internal/experiments"
 	"nephelix/internal/obs"
 	"nephelix/internal/sim"
@@ -35,6 +36,7 @@ func main() {
 	timeseriesPath := flag.String("timeseries", "", "write the telemetry time series and residual stats to this JSON file")
 	guarantee := flag.String("guarantee", "at-most-once", "processing guarantee: at-most-once | at-least-once | exactly-once")
 	ckptInterval := flag.Float64("ckpt.interval", 1, "checkpoint interval in virtual seconds (guaranteed runs)")
+	engine.RegisterFlags(flag.CommandLine) // -engine.shards, -engine.wheel (live-engine runs)
 	flag.Parse()
 
 	g, err := ckpt.ParseGuarantee(*guarantee)

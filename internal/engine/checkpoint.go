@@ -324,6 +324,20 @@ func (ex *execution) requestReplayAll() {
 		l.replayReq.Store(1)
 	}
 	ex.srcMu.Unlock()
+	// Parked source shards only act on the flag once awake; ex.mu after
+	// srcMu matches the established lock order (srcMu is a leaf).
+	ex.mu.Lock()
+	for _, name := range ex.order {
+		for _, t := range ex.vertices[name].tasks {
+			if t.src == nil {
+				continue
+			}
+			for _, e := range t.emitters {
+				e.wake()
+			}
+		}
+	}
+	ex.mu.Unlock()
 }
 
 // sourceRecords sums the distinct offsets ever emitted across sources.

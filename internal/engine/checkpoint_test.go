@@ -12,6 +12,7 @@ import (
 	"nephelix/internal/model"
 	"nephelix/internal/obs"
 	"nephelix/internal/qos"
+	"nephelix/internal/ring"
 	"nephelix/internal/workload"
 )
 
@@ -312,6 +313,111 @@ func TestEngineGuaranteeChurnAlignment(t *testing.T) {
 	}
 }
 
+// TestEngineShardedChurnAlignment (satellite): the counting-alignment
+// invariants must survive sharded source emission. With SourceShards=3
+// the source vertex runs three emitter lanes, each owning a disjoint
+// offset range through its own sourceLog and its own set of outbound
+// rings — so a barrier id is injected once per offset-shard and a
+// consumer's alignment count is the number of producer *emitters*, not
+// producer tasks. Churn races checkpoints exactly as in the unsharded
+// test; the cut must stay consistent: no deadlock on a stale count, no
+// holes, no lost or duplicated offsets across shards.
+func TestEngineShardedChurnAlignment(t *testing.T) {
+	g := buildChain(t, 2, 4, model.PatternRoundRobin)
+	var emitted, received atomic.Int64
+	var hold atomic.Bool
+	var blocked atomic.Int64
+
+	spec := NewJobSpec(g).
+		SetSource("src", SourceSpec{
+			Schedule: &workload.ConstantSchedule{RatePerSecond: 400, Length: 1.2},
+			Emit: func(ctx *Context) {
+				n := emitted.Add(1)
+				ctx.Emit(0, Record{Key: uint64(n)})
+			},
+		}).
+		SetUDF("work", func(int) UDF { return &holdingForwarder{hold: &hold, blocked: &blocked} }).
+		SetUDF("sink", func(int) UDF { return &countingSink{count: &received} })
+
+	cfg := guaranteeConfig(29, ckpt.ExactlyOnce, nil)
+	cfg.SourceShards = 3
+	cfg.CheckpointInterval = 10 * time.Millisecond
+	cfg.DrainIdle = 50 * time.Millisecond
+	exec, err := New(cfg).Submit(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The source task must actually be sharded: three emitter lanes with
+	// three distinct source logs (distinct srcIDs = disjoint offsets).
+	exec.ex.mu.Lock()
+	srcTasks := exec.ex.vertices["src"].tasks
+	shardIDs := map[int32]bool{}
+	for _, st := range srcTasks {
+		for _, e := range st.emitters {
+			if e.srcLog == nil {
+				t.Error("sharded source emitter has no source log")
+				continue
+			}
+			shardIDs[e.srcLog.id] = true
+		}
+	}
+	exec.ex.mu.Unlock()
+	if len(shardIDs) != 3 {
+		t.Fatalf("source runs %d distinct offset shards, want 3", len(shardIDs))
+	}
+
+	for _, churn := range []func(){
+		func() { exec.ex.scaleUp("work", 1) },
+		func() { exec.ex.scaleDown("work", 1) },
+	} {
+		base := blocked.Load()
+		workers := int64(exec.Parallelism("work"))
+		hold.Store(true)
+		waitUntil(t, "all workers to block mid-record", 5*time.Second, func() bool {
+			return blocked.Load() >= base+workers
+		})
+		waitUntil(t, "a checkpoint in flight", 5*time.Second, func() bool {
+			return exec.ex.coord.inFlight() != 0
+		})
+		churn()
+		hold.Store(false)
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := exec.Wait(ctx); err != nil {
+		t.Fatalf("sharded churned job did not finish: %v", err)
+	}
+
+	committed, aborted := exec.Checkpoints()
+	if committed == 0 {
+		t.Error("no checkpoint committed after churn settled")
+	}
+	if aborted == 0 {
+		t.Error("churn racing checkpoints should abort at least one (else the race never happened)")
+	}
+	if received.Load() != emitted.Load() {
+		t.Errorf("sink deliveries = %d, want %d", received.Load(), emitted.Load())
+	}
+	// Offsets are stamped once across the shards: disjoint ranges mean
+	// SourceRecords (the union of the three logs) equals the emit count.
+	if exec.SourceRecords() != emitted.Load() {
+		t.Errorf("SourceRecords = %d, want %d (shards must own disjoint offsets)", exec.SourceRecords(), emitted.Load())
+	}
+	distinct, _, holes := exec.SinkDeliveries()
+	if holes != 0 {
+		t.Errorf("holes = %d, want 0", holes)
+	}
+	if distinct != emitted.Load() {
+		t.Errorf("distinct sink deliveries = %d, want %d", distinct, emitted.Load())
+	}
+	if exec.LingerTimeouts() != 0 {
+		t.Errorf("LingerTimeouts = %d, want 0", exec.LingerTimeouts())
+	}
+}
+
 // TestLostRecordsMidBatchPanic (satellite) pins the panic accounting
 // semantics in handleBatch: the record being processed when the UDF
 // panics and the unprocessed remainder of its batch are lost; already-
@@ -328,7 +434,9 @@ func TestLostRecordsMidBatchPanic(t *testing.T) {
 		reporter: qos.NewTaskReporter(id),
 		chanReps: make(map[model.ChannelID]*qos.ChannelReporter),
 	}
-	tk.ctx = Context{t: tk}
+	tke := &emitter{t: tk}
+	tk.emitters = []*emitter{tke}
+	tk.ctx = Context{t: tk, e: tke}
 	var processed int
 	tk.udf = UDFFunc(func(*Context, Record) {
 		processed++
@@ -358,32 +466,38 @@ func TestLostRecordsMidBatchPanic(t *testing.T) {
 }
 
 // TestLostRecordsDeadConsumerShip (satellite) pins the other loss path:
-// a shipment to a task that died (dead channel closed, queue never
-// drained again) counts every record in the batch as lost, exactly
-// once, and recycles the slice.
+// a shipment into a dead consumer's ring (closed by the master after
+// the crash, or dead channel observed while the ring is full) counts
+// every record in the batch as lost, exactly once, and recycles the
+// slice.
 func TestLostRecordsDeadConsumerShip(t *testing.T) {
 	ex := &execution{cfg: Config{}.withDefaults()}
 	producer := &task{ex: ex, quit: make(chan struct{})}
-	// Unbuffered input with no reader: only the dead case can fire.
-	consumer := &task{in: make(chan batch), dead: make(chan struct{})}
+	pe := &emitter{t: producer}
+	producer.emitters = []*emitter{pe}
+	consumer := &task{dead: make(chan struct{})}
 	close(consumer.dead)
+	deadRing := ring.New[batch](4)
+	deadRing.Close()
 
-	producer.ship([]shipment{
-		{ref: &channelRef{to: consumer}, b: batch{items: make([]Record, 7)}},
-		{ref: &channelRef{to: consumer}, b: batch{items: make([]Record, 2)}},
+	pe.ship([]shipment{
+		{ref: &channelRef{to: consumer, ring: deadRing}, b: batch{items: make([]Record, 7)}},
+		{ref: &channelRef{to: consumer, ring: deadRing}, b: batch{items: make([]Record, 2)}},
 	})
 	if got := ex.lostRecords.Load(); got != 9 {
 		t.Errorf("lostRecords = %d, want 9 (both dead-consumer batches)", got)
 	}
 
-	// A live consumer with queue room loses nothing.
-	live := &task{in: make(chan batch, 1), dead: make(chan struct{})}
-	producer.ship([]shipment{{ref: &channelRef{to: live}, b: batch{items: make([]Record, 4)}}})
+	// A live consumer with ring room loses nothing.
+	live := &task{dead: make(chan struct{}), wakeCh: make(chan struct{}, 1)}
+	liveRing := ring.New[batch](4)
+	pe.ship([]shipment{{ref: &channelRef{to: live, ring: liveRing}, b: batch{items: make([]Record, 4)}}})
 	if got := ex.lostRecords.Load(); got != 9 {
 		t.Errorf("lostRecords = %d after live ship, want still 9", got)
 	}
-	if got := len((<-live.in).items); got != 4 {
-		t.Errorf("live consumer received %d records, want 4", got)
+	b, ok := liveRing.Pop()
+	if !ok || len(b.items) != 4 {
+		t.Errorf("live consumer ring got ok=%v len=%d, want a 4-record batch", ok, len(b.items))
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"nephelix/internal/obs"
 	"nephelix/internal/probe"
 	"nephelix/internal/qos"
+	"nephelix/internal/ring"
 )
 
 // Config tunes the engine. Zero values take the defaults noted per field;
@@ -35,9 +38,19 @@ type Config struct {
 	// Scaler configures the elastic scaler (DefaultScalerConfig when
 	// zero).
 	Scaler core.ScalerConfig
-	// QueueCapacity bounds each task's input queue in batches
-	// (default 64); full queues exert backpressure.
+	// QueueCapacity bounds each producer→consumer SPSC ring in batches
+	// (default 64, rounded up to a power of two); full rings exert
+	// backpressure.
 	QueueCapacity int
+	// SourceShards is the number of concurrent emitter shards per source
+	// task (default GOMAXPROCS-derived: GOMAXPROCS/2, clamped to [1, 4]).
+	// Each shard runs its own pacing loop and, under guarantees, owns its
+	// own offset log, so one source task can emit from several cores.
+	SourceShards int
+	// WheelResolution is the tick of the execution's flush-timer wheel
+	// (default FlushTick). Batch-flush deadlines are delivered with this
+	// granularity by one wheel goroutine instead of per-task tickers.
+	WheelResolution time.Duration
 	// MaxBatchRecords caps output batches (default 256).
 	MaxBatchRecords int
 	// FlushTick is the granularity of deadline flushing (default 1 ms).
@@ -122,6 +135,25 @@ func (c Config) withDefaults() Config {
 	if c.FlushTick <= 0 {
 		c.FlushTick = time.Millisecond
 	}
+	if c.SourceShards <= 0 {
+		c.SourceShards = flagSourceShards // -engine.shards (see flags.go)
+	}
+	if c.SourceShards <= 0 {
+		s := runtime.GOMAXPROCS(0) / 2
+		if s < 1 {
+			s = 1
+		}
+		if s > 4 {
+			s = 4
+		}
+		c.SourceShards = s
+	}
+	if c.WheelResolution <= 0 {
+		c.WheelResolution = flagWheelResolution // -engine.wheel (see flags.go)
+	}
+	if c.WheelResolution <= 0 {
+		c.WheelResolution = c.FlushTick
+	}
 	if c.DrainIdle <= 0 {
 		c.DrainIdle = 300 * time.Millisecond
 	}
@@ -195,6 +227,7 @@ func (e *Engine) Submit(spec *JobSpec, probes *probe.ProbeSet) (*Execution, erro
 		stopCh:      make(chan struct{}),
 		doneCh:      make(chan struct{}),
 	}
+	ex.wheel = newFlushWheel(e.cfg.WheelResolution)
 	ex.sloTargets = obs.SLOTargetsFromConstraints(spec.constraints)
 	ex.controller = qos.NewBatchingController(e.cfg.Scaler.Strategy.Batching)
 	ex.controller.SetElastic(e.cfg.Elastic)
@@ -230,6 +263,7 @@ func (e *Engine) Submit(spec *JobSpec, probes *probe.ProbeSet) (*Execution, erro
 	ex.start = time.Now()
 	ex.lastCommit = ex.start
 	ex.meter.Advance(0, 0, 0)
+	go ex.wheel.run()
 	ex.launchAll()
 	go ex.masterLoop()
 	return &Execution{ex: ex}, nil
@@ -297,8 +331,15 @@ type execution struct {
 	sloTargets []obs.SLOTarget
 
 	// pool recycles batch slices across all tasks of the execution (see
-	// pool.go for the ownership contract).
-	pool batchPool
+	// pool.go for the ownership contract); poolSeq hands out shard hints
+	// round-robin at task/emitter construction.
+	pool    batchPool
+	poolSeq atomic.Int64
+
+	// wheel is the execution's single flush-timer wheel (wheel.go):
+	// emitters arm flush deadlines on it instead of running per-task
+	// FlushTick tickers.
+	wheel *flushWheel
 
 	// Supervision: tasks announce panics on failures (before their exit
 	// hook runs), the master schedules restarts onto restarts after a
@@ -454,19 +495,34 @@ func (ex *execution) bootstrap() error {
 			}
 		}
 	}
-	// Wire all edges producer × consumer.
+	// Wire all edges producer × consumer: one SPSC ring per producer
+	// emitter → consumer pair.
 	for _, e := range g.Edges() {
 		pos := ex.edgePos[e.Key()]
 		for _, p := range ex.vertices[e.Source].tasks {
 			for _, c := range ex.vertices[e.Target].tasks {
-				p.gates[pos].addConsumer(&channelRef{
-					id: model.ChannelID{Edge: e.Key(), Producer: p.id.Index, Consumer: c.id.Index},
-					to: c,
-				})
+				ex.connect(p, pos, e.Key(), c)
 			}
 		}
 	}
 	return nil
+}
+
+// connect wires one producer task to one consumer task on an edge: one
+// SPSC ring per producer emitter, registered with the consumer's poll
+// set (bootstrap or master goroutine). Each ring's push side belongs to
+// exactly one emitter goroutine and its pop side to the consumer's, so
+// the SPSC discipline holds by construction.
+func (ex *execution) connect(p *task, pos int, ek model.EdgeKey, c *task) {
+	for _, e := range p.emitters {
+		r := ring.New[batch](ex.cfg.QueueCapacity)
+		e.gates[pos].addConsumer(&channelRef{
+			id:   model.ChannelID{Edge: ek, Producer: p.id.Index, Consumer: c.id.Index},
+			to:   c,
+			ring: r,
+		})
+		c.addInRing(r)
+	}
 }
 
 // createTask builds and places one task (caller holds no lock during
@@ -593,6 +649,7 @@ func (ex *execution) masterLoop() {
 			DroppedReports:    ex.droppedReports.Load(),
 			DroppedNoConsumer: ex.dropNoConsumer.Load(),
 		})
+		ex.wheel.stop()
 		close(ex.doneCh)
 	}
 
@@ -658,7 +715,7 @@ func (ex *execution) startCheckpoint() {
 		ex.abortCheckpoint(id, "superseded by next interval")
 	}
 	ex.mu.Lock()
-	var sources []*task
+	var sourceEmitters []*emitter
 	expect := make(map[*task]int)
 	pending := 0
 	for _, name := range ex.order {
@@ -668,30 +725,40 @@ func (ex *execution) startCheckpoint() {
 				return
 			}
 			if t.src != nil {
-				sources = append(sources, t)
-				pending++
+				// One barrier per offset shard: each shard emitter injects
+				// the marker into its own rings and acks its own log's
+				// watermark.
+				for _, e := range t.emitters {
+					sourceEmitters = append(sourceEmitters, e)
+					pending++
+				}
 				continue
 			}
-			// A worker aligns one barrier per live upstream producer task,
-			// on every inbound edge (barriers broadcast to all consumers
-			// regardless of wiring pattern).
+			// A worker aligns one barrier per live upstream producer
+			// emitter, on every inbound edge (barriers broadcast to all
+			// consumers regardless of wiring pattern). No task is draining
+			// here — the loop above bailed otherwise — so every producer
+			// counts.
 			exp := 0
 			for _, ek := range ex.spec.graph.InEdges(name) {
-				exp += int(ex.vertices[ek.Source].count.Load())
+				for _, p := range ex.vertices[ek.Source].tasks {
+					exp += len(p.emitters)
+				}
 			}
 			expect[t] = exp
 			pending++
 		}
 	}
-	if len(sources) == 0 {
+	if len(sourceEmitters) == 0 {
 		ex.mu.Unlock()
 		return
 	}
 	ex.ckptSeq++
 	id := ex.ckptSeq
 	ex.coord.begin(id, ex.topoGen.Load(), expect, pending)
-	for _, t := range sources {
-		t.barrierReq.Store(id)
+	for _, e := range sourceEmitters {
+		e.barrierReq.Store(id)
+		e.wake()
 	}
 	ex.mu.Unlock()
 	ex.recordLifecycle(obs.KindCheckpointStart, obs.Lifecycle{CheckpointID: id})
@@ -808,33 +875,48 @@ func (ex *execution) handleTaskFailure(f taskFailure, stopping bool) {
 	for _, ek := range g.InEdges(f.t.id.Vertex) {
 		pos := ex.edgePos[ek]
 		for _, p := range ex.vertices[ek.Source].tasks {
-			p.gates[pos].removeConsumer(f.t)
+			for _, pe := range p.emitters {
+				pe.gates[pos].removeConsumer(f.t)
+			}
 		}
 	}
 	ex.mu.Unlock()
 	ex.noteChurn("task failure")
-	if f.t.srcLog != nil {
-		// Park the dead source's offset log for its replacement, which
-		// replays the uncommitted suffix (harmless while stopping: the log
-		// is simply never reattached).
-		ex.orphanSourceLog(f.t.id.Vertex, f.t.srcLog)
+	for _, e := range f.t.emitters {
+		if e.srcLog != nil {
+			// Park the dead source shard's offset log for its replacement,
+			// which replays the uncommitted suffix (harmless while stopping:
+			// the log is simply never reattached).
+			ex.orphanSourceLog(f.t.id.Vertex, e.srcLog)
+		}
+		// The dying goroutine's defer closed these rings already; repeat
+		// for any consumer that was wired in mid-crash (Close is
+		// idempotent).
+		e.closeOutRings()
 	}
 	// Whatever was queued for the dead task is gone with it; the batch
 	// slices never reached a consumer, so the master recycles them.
-	for {
-		select {
-		case b := <-f.t.in:
-			ex.lostRecords.Add(int64(len(b.items)))
-			ex.pool.put(b.items)
-		default:
-			if stopping {
-				ex.pendingRecovery.Add(-1)
-				return
+	// Close first so producers stop pushing, then drain: the dead task's
+	// goroutine no longer pops (reportFailure runs during its unwind), so
+	// Drain cannot race a Pop.
+	for _, r := range f.t.ringsSnapshot() {
+		r.Close()
+		for {
+			b, ok := r.Drain()
+			if !ok {
+				break
 			}
-			ex.superviseFailure(f.t.id.Vertex, f.reason)
-			return
+			if b.barrier == 0 {
+				ex.lostRecords.Add(int64(len(b.items)))
+				ex.pool.put(b.poolHint, b.items)
+			}
 		}
 	}
+	if stopping {
+		ex.pendingRecovery.Add(-1)
+		return
+	}
+	ex.superviseFailure(f.t.id.Vertex, f.reason)
 }
 
 // superviseFailure advances a vertex's restart state (master loop only):
@@ -920,10 +1002,7 @@ func (ex *execution) wireTaskLocked(t *task) {
 			if p == t || p.draining.Load() {
 				continue
 			}
-			p.gates[pos].addConsumer(&channelRef{
-				id: model.ChannelID{Edge: ek, Producer: p.id.Index, Consumer: t.id.Index},
-				to: t,
-			})
+			ex.connect(p, pos, ek, t)
 		}
 	}
 	for _, ek := range g.OutEdges(vertex) {
@@ -932,10 +1011,7 @@ func (ex *execution) wireTaskLocked(t *task) {
 			if c.draining.Load() {
 				continue
 			}
-			t.gates[pos].addConsumer(&channelRef{
-				id: model.ChannelID{Edge: ek, Producer: t.id.Index, Consumer: c.id.Index},
-				to: c,
-			})
+			ex.connect(t, pos, ek, c)
 		}
 	}
 }
@@ -1079,6 +1155,7 @@ func (ex *execution) adjustTick() {
 	// Telemetry scrapes even without an elastic scaler (decision nil),
 	// and before recording so the audit event carries the drift flags.
 	drift := ex.cfg.Telemetry.ObserveInterval(time.Since(ex.start).Seconds(), summary, decision, par)
+	ex.scrapeShardGauges()
 	ex.observeSLOs()
 	if decision == nil {
 		return
@@ -1097,6 +1174,32 @@ func (ex *execution) adjustTick() {
 	}
 }
 
+// scrapeShardGauges publishes per-shard source emission counters each
+// adjustment interval so the dash can show shard balance.
+func (ex *execution) scrapeShardGauges() {
+	store := ex.cfg.Telemetry.Store()
+	if store == nil {
+		return
+	}
+	now := time.Since(ex.start).Seconds()
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	for _, name := range ex.order {
+		for _, t := range ex.vertices[name].tasks {
+			if t.src == nil {
+				continue
+			}
+			for _, e := range t.emitters {
+				store.Gauge("nephelix_source_shard_emitted", map[string]string{
+					"vertex": name,
+					"task":   t.id.String(),
+					"shard":  strconv.Itoa(e.shard),
+				}).Set(now, float64(e.emitCount.Load()))
+			}
+		}
+	}
+}
+
 // applyDeadlines publishes new flush deadlines to all gates.
 func (ex *execution) applyDeadlines(deadlines map[model.EdgeKey]float64) {
 	ex.mu.Lock()
@@ -1106,12 +1209,23 @@ func (ex *execution) applyDeadlines(deadlines map[model.EdgeKey]float64) {
 	}
 	for _, name := range ex.order {
 		for _, t := range ex.vertices[name].tasks {
-			for _, g := range t.gates {
-				if ex.spec.edgeBatching(g.edge) != BatchingAdaptive {
-					continue
+			for _, e := range t.emitters {
+				changed := false
+				for _, g := range e.gates {
+					if ex.spec.edgeBatching(g.edge) != BatchingAdaptive {
+						continue
+					}
+					if d, ok := ex.deadlines[g.edge]; ok {
+						g.setDeadline(d)
+						changed = true
+					}
 				}
-				if d, ok := ex.deadlines[g.edge]; ok {
-					g.setDeadline(d)
+				if changed {
+					// Wheel entries armed under the old deadline may now be
+					// stale; a flush pass re-evaluates the buffers and
+					// re-arms at the new deadlines.
+					e.flushReq.Store(true)
+					e.wake()
 				}
 			}
 		}
@@ -1160,10 +1274,18 @@ func (ex *execution) scaleDown(vertex string, n int) {
 		for _, ek := range g.InEdges(vertex) {
 			pos := ex.edgePos[ek]
 			for _, p := range ex.vertices[ek.Source].tasks {
-				p.gates[pos].removeConsumer(t)
+				for _, pe := range p.emitters {
+					pe.gates[pos].removeConsumer(t)
+				}
 			}
 		}
 		t.draining.Store(true)
+		// Wake the drained task so its park ends and the drain-idle clock
+		// starts now rather than at the next housekeeping timeout.
+		t.wake()
+		for _, e := range t.emitters {
+			e.wake()
+		}
 		ex.noteChurn("scale-down")
 	}
 	vs.refreshCount()
@@ -1177,6 +1299,9 @@ func (ex *execution) stopSources() {
 		for _, t := range ex.vertices[name].tasks {
 			if t.src != nil {
 				t.draining.Store(true)
+				for _, e := range t.emitters {
+					e.wake()
+				}
 			}
 		}
 	}

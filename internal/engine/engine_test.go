@@ -285,6 +285,78 @@ func TestEngineElasticScalesUp(t *testing.T) {
 	}
 }
 
+// TestEngineRampIntoSaturationScalesUp steps the offered rate from well
+// under one task's capacity to ~1.5x over it mid-run. Unlike
+// TestEngineElasticScalesUp (saturated from the first interval), the
+// bottleneck here must be detected from reports produced *while* the
+// worker is saturated: a worker whose scan loop drains rings unboundedly
+// (or grinds a backlog batch without flushing interval reports) goes
+// stale in the master's freshness gating, coverage collapses, and the
+// scaler skips the constraint exactly when ResolveBottlenecks should
+// fire — the regression this test pins down.
+func TestEngineRampIntoSaturationScalesUp(t *testing.T) {
+	g := buildChain(t, 1, 8, model.PatternRoundRobin)
+	var received atomic.Int64
+	probes := probe.NewProbeSet()
+
+	seq, err := model.ParseSequence(g, "src->work", "work", "work->sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NewJobSpec(g).
+		SetSource("src", SourceSpec{
+			// 2 s at 100/s (ρ ≈ 0.3), then 4 s at 500/s (ρ ≈ 1.5), back
+			// to 100/s.
+			Schedule: &workload.StepSchedule{
+				WarmUpRate: 100, StepDelta: 400, IncrementSteps: 1, StepDuration: 2,
+			},
+			Emit: func(ctx *Context) {
+				ctx.Emit(0, Record{EmitTime: time.Now(), Sampled: ctx.Sample()})
+			},
+		}).
+		SetUDF("work", func(int) UDF {
+			return UDFFunc(func(ctx *Context, rec Record) {
+				busySpin(3 * time.Millisecond)
+				ctx.Emit(0, rec)
+			})
+		}).
+		SetUDF("sink", func(int) UDF { return &countingSink{count: &received} }).
+		AddConstraint(&model.Constraint{
+			Name: "c", Sequence: seq, Bound: 50 * time.Millisecond, Window: 10 * time.Second,
+		})
+
+	exec, err := New(Config{
+		Seed:                11,
+		Elastic:             true,
+		MeasurementInterval: 100 * time.Millisecond,
+		AdjustmentInterval:  400 * time.Millisecond,
+	}).Submit(spec, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peak := 1
+	deadline := time.Now().Add(40 * time.Second)
+	for !exec.Done() && time.Now().Before(deadline) {
+		if p := exec.Parallelism("work"); p > peak {
+			peak = p
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	waitDone(t, exec, 30*time.Second)
+
+	if peak < 2 {
+		t.Errorf("vertex saturated mid-run never scaled up (peak %d)", peak)
+	}
+	ups, _ := exec.ScaleEvents()
+	if ups == 0 {
+		t.Error("no scale-up events recorded")
+	}
+	if received.Load() == 0 {
+		t.Error("nothing delivered")
+	}
+}
+
 // busySpin burns CPU for roughly d (sleep-based services give the sampled
 // service times the engine's QoS plane expects to see as busy time).
 func busySpin(d time.Duration) {

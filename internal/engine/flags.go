@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"flag"
+	"time"
+)
+
+// Process-wide data-plane tuning, set by RegisterFlags. Configs that
+// leave SourceShards or WheelResolution zero fall back to these before
+// the built-in defaults, so CLIs tune the engine without plumbing the
+// values through every library layer that builds a Config (benchmark
+// suites, app drivers).
+var (
+	flagSourceShards    int
+	flagWheelResolution time.Duration
+)
+
+// RegisterFlags registers the engine's data-plane tuning flags on fs
+// (typically flag.CommandLine, before flag.Parse):
+//
+//	-engine.shards  source emitter shards per source task
+//	-engine.wheel   flush-timer wheel resolution
+//
+// Zero keeps the built-in defaults (GOMAXPROCS/2 clamped to [1,4]
+// shards; wheel at the flush tick). Explicit Config fields always win
+// over the flags.
+func RegisterFlags(fs *flag.FlagSet) {
+	fs.IntVar(&flagSourceShards, "engine.shards", 0,
+		"engine source emitter shards per source task (0 = GOMAXPROCS/2, clamped to [1,4])")
+	fs.DurationVar(&flagWheelResolution, "engine.wheel", 0,
+		"engine flush-timer wheel resolution (0 = flush tick, default 1ms)")
+}

@@ -7,12 +7,18 @@ import (
 	"time"
 
 	"nephelix/internal/model"
+	"nephelix/internal/ring"
 )
 
-// channelRef is one producer→consumer path of a job edge.
+// channelRef is one producer→consumer path of a job edge: the target
+// task plus the SPSC ring this producer emitter pushes into. Each ring
+// has exactly one pushing goroutine (the emitter that owns the gate
+// holding this ref) and one popping goroutine (the consumer task), so
+// the lock-free SPSC discipline holds by construction.
 type channelRef struct {
-	id model.ChannelID
-	to *task
+	id   model.ChannelID
+	to   *task
+	ring *ring.SPSC[batch]
 }
 
 // gate is a task's output side for one outgoing job edge: a producer-side
@@ -43,8 +49,16 @@ type gate struct {
 	// drops points at the owning execution's no-consumer drop counter.
 	drops *atomic.Int64
 
-	// pool recycles batch slices execution-wide.
-	pool *batchPool
+	// pool recycles batch slices execution-wide; poolHint spreads this
+	// gate's traffic across the pool's shards.
+	pool     *batchPool
+	poolHint int
+
+	// owner is the emitter whose goroutine drives this gate; push arms
+	// the execution's flush wheel through it on empty→non-empty buffer
+	// transitions. Nil in gate-level unit tests (no wheel — callers
+	// flush via explicit due calls).
+	owner *emitter
 
 	// Producer-goroutine-owned state. out is the reusable shipment
 	// scratch every flush entry point (push, due, drainAll) returns; it
@@ -160,14 +174,14 @@ func (g *gate) reconcileKeys(now time.Time) {
 		delete(g.perKeyT, ref)
 		if len(consumers) == 0 {
 			g.drops.Add(int64(len(buf)))
-			g.pool.put(buf)
+			g.pool.put(g.poolHint, buf)
 			continue
 		}
 		for _, rec := range buf {
 			nref := consumers[int(mix64(rec.Key)%uint64(len(consumers)))]
 			nbuf := g.perKey[nref]
 			if nbuf == nil {
-				nbuf = g.pool.get()
+				nbuf = g.pool.get(g.poolHint)
 			}
 			g.perKey[nref] = append(nbuf, rec)
 			// The moved records keep their buffered age so the flush
@@ -176,8 +190,23 @@ func (g *gate) reconcileKeys(now time.Time) {
 				g.perKeyT[nref] = oldest
 			}
 		}
-		g.pool.put(buf)
+		g.pool.put(g.poolHint, buf)
 	}
+}
+
+// armOwner arms the owning emitter's flush-wheel entry when a buffer
+// just went empty→non-empty under a finite deadline (producer
+// goroutine). Without it the batch would sit until the next size-cap
+// flush.
+func (g *gate) armOwner(now time.Time) {
+	if g.owner == nil {
+		return
+	}
+	dl := g.deadline()
+	if dl <= 0 || dl == noDeadline {
+		return
+	}
+	g.owner.armFlush(now.Add(dl))
 }
 
 // push buffers a record and returns batches due for shipping (producer
@@ -195,9 +224,10 @@ func (g *gate) push(rec Record, now time.Time) []shipment {
 		buf := g.perKey[ref]
 		if len(buf) == 0 {
 			if buf == nil {
-				buf = g.pool.get()
+				buf = g.pool.get(g.poolHint)
 			}
 			g.perKeyT[ref] = now
+			g.armOwner(now)
 		}
 		buf = append(buf, rec)
 		g.perKey[ref] = buf
@@ -209,6 +239,7 @@ func (g *gate) push(rec Record, now time.Time) []shipment {
 	}
 	if len(g.buf) == 0 {
 		g.oldest = now
+		g.armOwner(now)
 	}
 	g.buf = append(g.buf, rec)
 	if g.deadline() <= 0 || len(g.buf) >= g.maxBatch {
@@ -237,7 +268,7 @@ func (g *gate) takeShared(now time.Time, dst []shipment) []shipment {
 		return dst
 	}
 	items := g.buf
-	b := batch{items: items, producer: g.producer, edgePos: g.pos, oldestBuf: g.oldest, shipped: now}
+	b := batch{items: items, producer: g.producer, edgePos: g.pos, oldestBuf: g.oldest, shipped: now, poolHint: g.poolHint}
 	if g.pattern == model.PatternBroadcast {
 		// Uniform ownership: every consumer gets its own pooled copy and
 		// the gate keeps its buffer. Handing any consumer the original
@@ -245,7 +276,7 @@ func (g *gate) takeShared(now time.Time, dst []shipment) []shipment {
 		// source — and under pooling, alias a recycled slice.
 		for _, ref := range consumers {
 			bb := b
-			bb.items = append(g.pool.get(), items...)
+			bb.items = append(g.pool.get(g.poolHint), items...)
 			dst = append(dst, shipment{ref: ref, b: bb})
 		}
 		g.resetBuf()
@@ -253,7 +284,7 @@ func (g *gate) takeShared(now time.Time, dst []shipment) []shipment {
 	}
 	// Rotation: the single addressee takes ownership of the buffer; the
 	// gate refills from the pool.
-	g.buf = g.pool.get()
+	g.buf = g.pool.get(g.poolHint)
 	if gen := g.consumerGen.Load(); !g.rrInit || gen != g.rrGen {
 		// (Re-)start the rotation at a random offset on every consumer-
 		// set change so producer sweeps never phase-lock (see the
@@ -288,7 +319,7 @@ func (g *gate) takeKeyed(ref *channelRef, now time.Time, dst []shipment) []shipm
 	delete(g.perKey, ref)
 	oldest := g.perKeyT[ref]
 	delete(g.perKeyT, ref)
-	return append(dst, shipment{ref: ref, b: batch{items: buf, producer: g.producer, edgePos: g.pos, oldestBuf: oldest, shipped: now}})
+	return append(dst, shipment{ref: ref, b: batch{items: buf, producer: g.producer, edgePos: g.pos, oldestBuf: oldest, shipped: now, poolHint: g.poolHint}})
 }
 
 // due returns all shipments whose oldest buffered record has exceeded the
@@ -310,6 +341,29 @@ func (g *gate) due(now time.Time) []shipment {
 	}
 	g.out = out
 	return out
+}
+
+// nextDue returns the earliest moment a currently buffered record's
+// flush deadline lapses (producer goroutine; used to re-arm the flush
+// wheel after a fire). ok is false when nothing is buffered or the
+// gate's deadline is not finite.
+func (g *gate) nextDue() (at time.Time, ok bool) {
+	dl := g.deadline()
+	if dl <= 0 || dl == noDeadline {
+		return time.Time{}, false
+	}
+	if len(g.buf) > 0 {
+		at, ok = g.oldest.Add(dl), true
+	}
+	for ref, buf := range g.perKey {
+		if len(buf) == 0 {
+			continue
+		}
+		if t := g.perKeyT[ref].Add(dl); !ok || t.Before(at) {
+			at, ok = t, true
+		}
+	}
+	return at, ok
 }
 
 // barrierShipments returns one barrier batch addressed to every

@@ -192,7 +192,7 @@ func TestGateConcurrentConsumerChurn(t *testing.T) {
 			// (standing in for the consumer-side recycle).
 			recycle := func(out []shipment) {
 				for _, s := range out {
-					pool.put(s.b.items)
+					pool.put(0, s.b.items)
 				}
 			}
 			for i := 0; i < 4000; i++ {

@@ -6,64 +6,79 @@ import "sync"
 // engine-side counterpart of the simulator's batch pooling (sim/pool.go).
 // Unlike the single-threaded simulator, slices here cross goroutines —
 // detached from a producer's gate at flush, in flight inside a batch,
-// returned by whichever goroutine finishes with them — so the free list
-// is mutex-guarded. One uncontended lock round-trip per batch is noise
-// next to the channel send the batch already pays; what the pool buys is
-// the per-flush slice allocation and its GC pressure.
+// returned by whichever goroutine finishes with them — so the free
+// lists are mutex-guarded. With the sharded data plane many emitters
+// and consumers hit the pool concurrently; the free list is split into
+// poolShards independently locked shards, and every caller carries a
+// stable hint assigned at task/emitter construction so its traffic
+// stays on one shard (hints are spread round-robin, keeping the shards
+// balanced without any cross-shard stealing).
 //
 // Ownership contract (see DESIGN.md "Engine data plane"):
 //
 //   - A gate owns its buffer slices (buf, perKey values) exclusively;
-//     only the producing task's goroutine touches them.
+//     only the producing emitter's goroutine touches them.
 //   - takeShared/takeKeyed transfer ownership of the flushed slice to the
 //     shipment's batch. Broadcast shipments each own a pooled copy; the
 //     gate keeps (and re-uses) its buffer.
 //   - Exactly one party returns every shipped slice: the consumer after
 //     handleBatch, the producer when the consumer is dead, or the master
-//     when it drains a crashed task's queue. After put the slice must
+//     when it drains a crashed task's rings. After put the slice must
 //     not be touched.
 //   - A batch that dies with a panicking UDF is never recycled (the
 //     collector reclaims it); correctness first, reuse second.
+//
+// The zero value is ready to use (gate-level tests build gates around
+// a zero batchPool).
 type batchPool struct {
+	shards [poolShards]poolShard
+}
+
+type poolShard struct {
 	mu   sync.Mutex
 	free [][]Record
 }
 
-// maxPooledBatches bounds the free list so a transient backpressure
-// spike cannot pin an arbitrary amount of memory for the rest of the
-// execution.
-const maxPooledBatches = 4096
+// poolShards is a power of two so hint masking is cheap.
+const poolShards = 8
+
+// maxPooledPerShard bounds each shard's free list so a transient
+// backpressure spike cannot pin an arbitrary amount of memory for the
+// rest of the execution (total bound matches the pre-shard pool).
+const maxPooledPerShard = 4096 / poolShards
 
 // get returns an empty batch slice, reusing recycled capacity when
 // available. The zero return is nil: append allocates on first use and
 // the allocation is recovered at recycle time.
-func (p *batchPool) get() []Record {
-	p.mu.Lock()
-	n := len(p.free)
+func (p *batchPool) get(hint int) []Record {
+	s := &p.shards[hint&(poolShards-1)]
+	s.mu.Lock()
+	n := len(s.free)
 	if n == 0 {
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil
 	}
-	b := p.free[n-1]
-	p.free[n-1] = nil
-	p.free = p.free[:n-1]
-	p.mu.Unlock()
+	b := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
+	s.mu.Unlock()
 	return b
 }
 
 // put returns a slice whose records have been fully consumed. Records
 // are zeroed first so recycled capacity pins no payloads or trace spans;
 // elements past len were zeroed by an earlier put and are never re-set.
-func (p *batchPool) put(b []Record) {
+func (p *batchPool) put(hint int, b []Record) {
 	if cap(b) == 0 {
 		return
 	}
 	for i := range b {
 		b[i] = Record{}
 	}
-	p.mu.Lock()
-	if len(p.free) < maxPooledBatches {
-		p.free = append(p.free, b[:0])
+	s := &p.shards[hint&(poolShards-1)]
+	s.mu.Lock()
+	if len(s.free) < maxPooledPerShard {
+		s.free = append(s.free, b[:0])
 	}
-	p.mu.Unlock()
+	s.mu.Unlock()
 }

@@ -62,6 +62,11 @@ type batch struct {
 	edgePos   int
 	oldestBuf time.Time
 	shipped   time.Time
+	// poolHint is the batch-pool shard the items slice came from; the
+	// recycler passes it back to pool.put so slices return to the shard
+	// their producer draws from (recycle affinity — without it producer
+	// shards starve and every flush allocates).
+	poolHint int
 	// barrier, when non-zero, marks this batch as a checkpoint barrier
 	// with that id: items is nil, the batch rides the same channels as
 	// data (per-producer FIFO is what makes alignment a consistent cut),

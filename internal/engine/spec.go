@@ -9,9 +9,12 @@ import (
 	"nephelix/internal/workload"
 )
 
-// Context is the per-task API a UDF sees.
+// Context is the per-task API a UDF sees. Each emitter lane (the task
+// goroutine for workers and sinks, each shard goroutine for sources)
+// carries its own Context, so UDF calls never cross lanes.
 type Context struct {
 	t *task
+	e *emitter
 }
 
 // TaskIndex returns the task's index within its vertex.
@@ -20,16 +23,16 @@ func (c *Context) TaskIndex() int { return c.t.id.Index }
 // Vertex returns the task's job-vertex name.
 func (c *Context) Vertex() string { return c.t.id.Vertex }
 
-// Rand returns a task-local deterministic random source.
-func (c *Context) Rand() *rand.Rand { return c.t.rng }
+// Rand returns a lane-local deterministic random source.
+func (c *Context) Rand() *rand.Rand { return c.e.rng }
 
 // OutEdges returns the number of outgoing job edges.
-func (c *Context) OutEdges() int { return len(c.t.gates) }
+func (c *Context) OutEdges() int { return len(c.e.gates) }
 
 // Emit sends a record along the task's edgeIdx-th outgoing job edge
 // (ordered as in JobGraph.OutEdges). It may block under backpressure.
 func (c *Context) Emit(edgeIdx int, rec Record) {
-	c.t.emit(edgeIdx, rec)
+	c.e.emit(edgeIdx, rec)
 }
 
 // Origin returns the lineage of the record currently being processed
@@ -39,7 +42,7 @@ func (c *Context) Emit(edgeIdx int, rec Record) {
 // inherit this lineage automatically; Origin exposes it to UDFs that
 // want offset-aware side effects.
 func (c *Context) Origin() (source int32, offset uint64) {
-	return c.t.curSrcID, c.t.curOffset
+	return c.e.curSrcID, c.e.curOffset
 }
 
 // UDF is a user-defined function executed by each task of a vertex. One

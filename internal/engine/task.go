@@ -2,25 +2,51 @@ package engine
 
 import (
 	"math/rand"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"nephelix/internal/model"
 	"nephelix/internal/obs"
 	"nephelix/internal/qos"
+	"nephelix/internal/ring"
 )
 
-// task is one running task: a goroutine with a bounded input channel,
-// output gates and QoS reporters.
+// task is one running task of the cooperative data plane. Its input
+// side is a set of SPSC rings (one per upstream producer emitter); its
+// output side is one or more emitters, each owning a private set of
+// gates and the rings into every downstream consumer.
+//
+// Workers and sinks have exactly one emitter, owned by the task
+// goroutine. Source tasks have Config.SourceShards emitters, each run
+// by its own shard goroutine with a private pacing loop, rng, QoS
+// reporter and (under guarantees) offset log — so one source task can
+// saturate several cores without any cross-shard synchronization on
+// the emit path.
 type task struct {
 	id  model.TaskID
 	ex  *execution
 	udf UDF
 	src *SourceSpec
 
-	in    chan batch
-	gates []*gate
-	rng   *rand.Rand
+	// emitters is the output side; immutable after newTask.
+	emitters []*emitter
+
+	// inRings is the consumer-side ring set (copy-on-write: the master
+	// appends at wiring time, the consumer goroutine prunes closed+empty
+	// rings after producer exits). inMu serializes rewrites only.
+	inRings atomic.Pointer[[]*ring.SPSC[batch]]
+	inMu    sync.Mutex
+
+	// wakeCh + parked implement the consumer's park/wake protocol:
+	// the consumer publishes parked=true, re-checks its rings, then
+	// blocks on wakeCh; producers push, then check parked and poke
+	// wakeCh. Sequential consistency of sync/atomic makes the lost-
+	// wakeup interleaving impossible (either the producer sees parked
+	// and wakes, or the consumer's re-check sees the push).
+	wakeCh chan struct{}
+	parked atomic.Bool
 
 	// draining is set by the master after the task left all routing
 	// tables; the task exits once its input has been idle for DrainIdle.
@@ -28,15 +54,20 @@ type task struct {
 	// quit force-stops the task (execution shutdown).
 	quit chan struct{}
 	// dead closes when the task goroutine has exited (crash or drain), so
-	// producers blocked on its full input queue get out instead of
-	// hanging on a consumer that will never read again.
+	// producers spinning on its full input rings get out instead of
+	// waiting on a consumer that will never pop again.
 	dead chan struct{}
+	// shardAbort (sources only) stops sibling shard goroutines after one
+	// of them panicked, so the task dies — and restarts — as a unit.
+	shardAbort chan struct{}
+	abortOnce  sync.Once
 
 	// processed counts handled records (quiescence detection).
 	processed atomic.Int64
 
-	// Reporters are owned by the task goroutine; interval aggregates are
-	// sent to the master over ex.reports.
+	// Consumer-side reporters, owned by the task goroutine; interval
+	// aggregates are sent to the master over ex.reports. Source shards
+	// carry their own reporters (emitter.reporter).
 	reporter  *qos.TaskReporter
 	chanReps  map[model.ChannelID]*qos.ChannelReporter
 	lastFlush time.Time
@@ -48,10 +79,49 @@ type task struct {
 	edgeNames map[model.EdgeKey]string
 
 	// now is the task's amortized wall clock: refreshed once per
-	// delivered batch, per UDF service completion, per flush tick and per
-	// source emission — never per emitted record. emit and the gates read
-	// it instead of calling time.Now() per record, so its error is
-	// bounded by one UDF service time. Task-goroutine-only state.
+	// delivered batch, per UDF service completion and per park wakeup —
+	// never per emitted record. Task-goroutine-only state.
+	now time.Time
+
+	// dedup is the sink vertex's shared dedup table (guarantees only).
+	dedup *sinkDedup
+
+	// Barrier-alignment state (task-goroutine-only): alignSeen barriers
+	// of alignID arrived; alignDone is the last id fully aligned and
+	// forwarded.
+	alignID    int64
+	alignSeen  int
+	alignDone  int64
+	alignStart time.Time
+
+	// busyNs integrates UDF time for utilization reporting.
+	busyNs atomic.Int64
+
+	// poolHint spreads this task's batchPool traffic across pool shards.
+	poolHint int
+
+	ctx Context
+}
+
+// emitter is one producer lane of a task: a private set of gates (and
+// through them, SPSC rings to every consumer), an rng, an amortized
+// clock and the flush-wheel plumbing. Everything here is owned by
+// exactly one goroutine — the task goroutine for workers/sinks, the
+// shard goroutine for source shards — except the atomics the wheel and
+// master touch (flushReq, armedUntil, barrierReq, emitCount).
+type emitter struct {
+	t     *task
+	shard int
+	gates []*gate
+	rng   *rand.Rand
+
+	// reporter aggregates this lane's QoS; for worker emitters it is the
+	// task's reporter (same goroutine), for source shards a private one.
+	reporter  *qos.TaskReporter
+	lastFlush time.Time
+
+	// now is the lane's amortized wall clock (emit reads it instead of
+	// calling time.Now per record).
 	now time.Time
 
 	// rwPending holds consume times of sampled records awaiting the next
@@ -60,155 +130,406 @@ type task struct {
 
 	// curSpan is the trace span of the record currently being processed
 	// (or emitted, for sources); records emitted meanwhile inherit it.
-	// Task-goroutine-only state.
 	curSpan *obs.Span
-
-	// Processing-guarantee state (nil / zero when Config.Guarantee is
-	// AtMostOnce). srcLog is the source partition's offset authority and
-	// replay buffer; dedup is the sink vertex's shared dedup table.
-	srcLog *sourceLog
-	dedup  *sinkDedup
-	// barrierReq asks a source to inject the barrier with that id
-	// (master-written, source-goroutine-consumed).
-	barrierReq atomic.Int64
 	// curSrcID/curOffset carry the lineage of the record currently being
-	// processed so emitted descendants inherit it (task-goroutine-only,
-	// cleared after each Process call).
+	// processed so emitted descendants inherit it.
 	curSrcID  int32
 	curOffset uint64
-	// Barrier-alignment state (task-goroutine-only): alignSeen barriers
-	// of alignID arrived; alignDone is the last id fully aligned and
-	// forwarded.
-	alignID    int64
-	alignSeen  int
-	alignDone  int64
-	alignStart time.Time
-	// replaying marks log re-emission so emit skips re-stamping.
+
+	// emitCount counts this shard's source emissions (per-shard balance
+	// gauge on /metrics).
+	emitCount atomic.Int64
+
+	// poolHint spreads this lane's batchPool traffic across pool shards.
+	poolHint int
+
+	// Flush-wheel plumbing: gates arm the wheel on empty→non-empty
+	// transitions; a fire raises flushReq and wakes the owner.
+	flushReq   atomic.Bool
+	armedUntil atomic.Int64
+	wakeCh     chan struct{}
+	parked     *atomic.Bool
+	ownParked  atomic.Bool
+
+	// Processing-guarantee state (source shards, nil otherwise). srcLog
+	// is this shard's offset authority and replay buffer — each shard
+	// owns a disjoint offset range because each owns a distinct log.
+	srcLog *sourceLog
+	// barrierReq asks the shard to inject the barrier with that id
+	// (master-written, shard-goroutine-consumed).
+	barrierReq    atomic.Int64
 	replaying     bool
 	replayScratch []logEntry
 	// lingerStart bounds the post-schedule wait for a final commit.
 	lingerStart time.Time
 
-	// busyNs integrates UDF time for utilization reporting.
-	busyNs atomic.Int64
-
 	ctx Context
 }
 
-// newTask builds a task (wiring happens in the execution).
+// idleSpins is how many empty polls a consumer or source loop burns
+// (with Gosched) before parking on its wake channel.
+const idleSpins = 64
+
+// maxPopsPerScan caps how many batches one worker scan takes from a
+// single input ring before moving on, so a saturated producer cannot
+// starve other rings or the between-scan flush/report servicing.
+const maxPopsPerScan = 64
+
+// shipSpins is how many failed pushes a producer burns before backing
+// off with a short sleep (sustained backpressure).
+const shipSpins = 128
+
+// newTask builds a task and its emitters (wiring happens in the
+// execution).
 func newTask(ex *execution, id model.TaskID, udf UDF, src *SourceSpec, seed int64) *task {
 	t := &task{
 		id:       id,
 		ex:       ex,
 		udf:      udf,
 		src:      src,
-		in:       make(chan batch, ex.cfg.QueueCapacity),
-		rng:      rand.New(rand.NewSource(seed)),
 		quit:     make(chan struct{}),
 		dead:     make(chan struct{}),
+		wakeCh:   make(chan struct{}, 1),
 		reporter: qos.NewTaskReporter(id),
 		chanReps: make(map[model.ChannelID]*qos.ChannelReporter),
+		poolHint: int(ex.poolSeq.Add(1)),
 	}
-	t.ctx = Context{t: t}
+	empty := make([]*ring.SPSC[batch], 0)
+	t.inRings.Store(&empty)
 	t.inEdges = ex.spec.graph.InEdges(id.Vertex)
 	t.edgeNames = make(map[model.EdgeKey]string, len(t.inEdges))
 	for _, ek := range t.inEdges {
 		t.edgeNames[ek] = ek.String()
 	}
+	shards := 1
+	if src != nil {
+		t.shardAbort = make(chan struct{})
+		if ex.cfg.SourceShards > 1 {
+			shards = ex.cfg.SourceShards
+		}
+	}
 	outs := ex.spec.graph.OutEdges(id.Vertex)
-	t.gates = make([]*gate, len(outs))
-	for pos, ek := range outs {
-		g := newGate(ek, pos, id.Index, ex.spec.graph.Edge(ek).Pattern, ex.cfg.MaxBatchRecords, &ex.dropNoConsumer, &ex.pool)
-		switch ex.spec.edgeBatching(ek) {
-		case BatchingFixed:
-			g.setDeadline(noDeadline)
-		case BatchingInstant:
-			// Stays at 0; applyDeadlines never touches non-adaptive edges.
-		default:
-			if d, ok := ex.currentDeadline(ek); ok {
-				g.setDeadline(d)
-			}
+	t.emitters = make([]*emitter, shards)
+	for si := range t.emitters {
+		e := &emitter{
+			t:        t,
+			shard:    si,
+			rng:      rand.New(rand.NewSource(seed + int64(si)*104729)),
+			poolHint: int(ex.poolSeq.Add(1)),
 		}
-		t.gates[pos] = g
-	}
-	if ex.guarantee.Enabled() {
 		if src != nil {
-			t.srcLog = ex.takeSourceLog(id.Vertex)
-		} else if len(t.gates) == 0 {
-			t.dedup = ex.dedups[id.Vertex]
+			e.reporter = qos.NewTaskReporter(id)
+			e.wakeCh = make(chan struct{}, 1)
+			e.parked = &e.ownParked
+		} else {
+			e.reporter = t.reporter
+			e.wakeCh = t.wakeCh
+			e.parked = &t.parked
 		}
+		e.gates = make([]*gate, len(outs))
+		for pos, ek := range outs {
+			g := newGate(ek, pos, id.Index, ex.spec.graph.Edge(ek).Pattern, ex.cfg.MaxBatchRecords, &ex.dropNoConsumer, &ex.pool)
+			g.owner = e
+			g.poolHint = e.poolHint
+			switch ex.spec.edgeBatching(ek) {
+			case BatchingFixed:
+				g.setDeadline(noDeadline)
+			case BatchingInstant:
+				// Stays at 0; applyDeadlines never touches non-adaptive edges.
+			default:
+				if d, ok := ex.currentDeadline(ek); ok {
+					g.setDeadline(d)
+				}
+			}
+			e.gates[pos] = g
+		}
+		if ex.guarantee.Enabled() && src != nil {
+			e.srcLog = ex.takeSourceLog(id.Vertex)
+		}
+		e.ctx = Context{t: t, e: e}
+		t.emitters[si] = e
 	}
+	if ex.guarantee.Enabled() && src == nil && len(outs) == 0 {
+		t.dedup = ex.dedups[id.Vertex]
+	}
+	t.ctx = Context{t: t, e: t.emitters[0]}
 	return t
 }
 
+// ---- consumer-side ring plumbing ----
+
+// ringsSnapshot returns the current in-ring set (lock-free read).
+func (t *task) ringsSnapshot() []*ring.SPSC[batch] { return *t.inRings.Load() }
+
+// addInRing registers a producer's ring with this consumer (master,
+// wiring time).
+func (t *task) addInRing(r *ring.SPSC[batch]) {
+	t.inMu.Lock()
+	cur := *t.inRings.Load()
+	next := make([]*ring.SPSC[batch], len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = r
+	t.inRings.Store(&next)
+	t.inMu.Unlock()
+}
+
+// pruneClosedRings drops rings whose producer exited and whose buffer
+// is drained (consumer goroutine), bounding the poll scan under churn.
+func (t *task) pruneClosedRings() {
+	t.inMu.Lock()
+	cur := *t.inRings.Load()
+	kept := make([]*ring.SPSC[batch], 0, len(cur))
+	for _, r := range cur {
+		if r.Closed() && r.Empty() {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.inRings.Store(&kept)
+	t.inMu.Unlock()
+}
+
+// ringsNonEmpty reports whether any in-ring currently holds a batch.
+func (t *task) ringsNonEmpty() bool {
+	for _, r := range t.ringsSnapshot() {
+		if !r.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// wake pokes a parked consumer (any goroutine).
+func (t *task) wake() {
+	if t.parked.Load() {
+		select {
+		case t.wakeCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wake pokes the emitter's owning goroutine (wheel fires, master
+// barrier/replay requests). For worker emitters this is the task wake.
+func (e *emitter) wake() {
+	if e.parked.Load() {
+		select {
+		case e.wakeCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// isDead reports whether the consumer's goroutine has exited.
+func (t *task) isDead() bool {
+	select {
+	case <-t.dead:
+		return true
+	default:
+		return false
+	}
+}
+
+// quitClosed reports whether the execution force-stopped this task.
+func (t *task) quitClosed() bool {
+	select {
+	case <-t.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// abortClosed reports whether a sibling source shard panicked.
+func (t *task) abortClosed() bool {
+	if t.shardAbort == nil {
+		return false
+	}
+	select {
+	case <-t.shardAbort:
+		return true
+	default:
+		return false
+	}
+}
+
+// abortShards stops all sibling shard goroutines (first panic wins).
+func (t *task) abortShards() {
+	t.abortOnce.Do(func() { close(t.shardAbort) })
+}
+
+// ---- producer side (emitter) ----
+
 // emit routes a record into the edgeIdx-th gate, shipping due batches.
-// It runs on the task goroutine and may block under backpressure. Time
-// comes from the task's amortized clock, not a per-record time.Now().
-func (t *task) emit(edgeIdx int, rec Record) {
-	if edgeIdx < 0 || edgeIdx >= len(t.gates) {
+// It runs on the emitter's goroutine and may block under backpressure.
+// Time comes from the emitter's amortized clock, not a per-record
+// time.Now().
+func (e *emitter) emit(edgeIdx int, rec Record) {
+	if edgeIdx < 0 || edgeIdx >= len(e.gates) {
 		return
 	}
 	if rec.span == nil {
-		rec.span = t.curSpan
+		rec.span = e.curSpan
 	}
-	if t.srcLog != nil {
-		if !t.replaying {
+	if e.srcLog != nil {
+		if !e.replaying {
 			// Fresh source emission: assign the next offset and buffer the
 			// record for replay. Replayed records keep their original
 			// lineage and are not re-logged.
-			t.srcLog.stamp(&rec, int32(edgeIdx))
+			e.srcLog.stamp(&rec, int32(edgeIdx))
 		}
 	} else if rec.srcID == 0 {
 		// Worker emission: descendants inherit the lineage of the record
 		// being processed (zero outside Process, e.g. timer emissions,
 		// which are genuinely new data and stay untracked).
-		rec.srcID, rec.offset = t.curSrcID, t.curOffset
+		rec.srcID, rec.offset = e.curSrcID, e.curOffset
 	}
-	now := t.now
+	now := e.now
 	// A write completes read-write latency measurement.
-	if len(t.rwPending) > 0 {
-		for _, tc := range t.rwPending {
-			t.reporter.RecordTaskLatency(now.Sub(tc).Seconds())
+	if len(e.rwPending) > 0 {
+		for _, tc := range e.rwPending {
+			e.reporter.RecordTaskLatency(now.Sub(tc).Seconds())
 		}
-		t.rwPending = t.rwPending[:0]
+		e.rwPending = e.rwPending[:0]
 	}
-	t.ship(t.gates[edgeIdx].push(rec, now))
+	e.ship(e.gates[edgeIdx].push(rec, now))
 }
 
-// ship delivers shipments, blocking on full consumer queues
-// (backpressure). Shipments to draining consumers are dropped by the
-// consumer-side idle exit, never lost while the consumer runs. A
-// consumer that died (crashed, or exited mid-drain) unblocks the
-// producer via its dead channel; those records are counted as lost and
-// their batch — which never left this goroutine — returns to the pool.
-func (t *task) ship(shipments []shipment) {
-	for _, s := range shipments {
-		select {
-		case s.ref.to.in <- s.b:
-		case <-s.ref.to.dead:
-			t.ex.lostRecords.Add(int64(len(s.b.items)))
-			t.ex.pool.put(s.b.items)
-		case <-t.quit:
+// ship pushes shipments into the addressees' rings, spinning (then
+// briefly sleeping) on full rings — backpressure. A consumer that died
+// unblocks the producer via its closed ring or dead channel; those
+// records are counted as lost and their batch — which never left this
+// goroutine — returns to the pool.
+func (e *emitter) ship(shipments []shipment) {
+	for i := range shipments {
+		s := &shipments[i]
+		r := s.ref.ring
+		if r == nil {
+			// Refs without rings only exist in gate-level tests.
+			e.t.ex.lostRecords.Add(int64(len(s.b.items)))
+			e.t.ex.pool.put(s.b.poolHint, s.b.items)
+			continue
+		}
+		spins := 0
+		for {
+			if r.Push(s.b) {
+				s.ref.to.wake()
+				break
+			}
+			if r.Closed() || s.ref.to.isDead() {
+				e.t.ex.lostRecords.Add(int64(len(s.b.items)))
+				e.t.ex.pool.put(s.b.poolHint, s.b.items)
+				break
+			}
+			if e.t.quitClosed() || e.t.abortClosed() {
+				return
+			}
+			spins++
+			if spins < shipSpins {
+				runtime.Gosched()
+			} else {
+				time.Sleep(20 * time.Microsecond)
+				// Sustained backpressure can pin this goroutine here for
+				// whole measurement intervals; keep flushing interval
+				// reports so freshness gating doesn't blind the scaler to
+				// the very vertex chain that is saturated.
+				if spins%512 == 0 {
+					now := time.Now()
+					e.now = now
+					if e.t.src != nil {
+						e.maybeReport(now)
+					} else {
+						e.t.maybeReport(now)
+					}
+				}
+			}
+		}
+	}
+}
+
+// armFlush arms the execution's flush wheel for this emitter at the
+// given deadline, unless an earlier arm is already outstanding
+// (producer goroutine; the wheel clears armedUntil at fire).
+func (e *emitter) armFlush(at time.Time) {
+	w := e.t.ex.wheel
+	if w == nil {
+		return
+	}
+	atNs := at.UnixNano()
+	for {
+		cur := e.armedUntil.Load()
+		if cur != 0 && cur <= atNs {
+			return
+		}
+		if e.armedUntil.CompareAndSwap(cur, atNs) {
+			w.arm(e, atNs)
 			return
 		}
 	}
 }
 
-// flushDue ships batches whose deadline expired.
-func (t *task) flushDue(now time.Time) {
-	for _, g := range t.gates {
-		t.ship(g.due(now))
+// flushDue ships batches whose deadline expired and re-arms the wheel
+// at the earliest residual deadline.
+func (e *emitter) flushDue(now time.Time) {
+	var nextAt time.Time
+	for _, g := range e.gates {
+		e.ship(g.due(now))
+		if at, ok := g.nextDue(); ok && (nextAt.IsZero() || at.Before(nextAt)) {
+			nextAt = at
+		}
+	}
+	if !nextAt.IsZero() {
+		e.armFlush(nextAt)
 	}
 }
 
-// drainGates force-flushes all buffers (shutdown).
-func (t *task) drainGates(now time.Time) {
-	for _, g := range t.gates {
-		t.ship(g.drainAll(now))
+// drainGates force-flushes all buffers (shutdown, barriers).
+func (e *emitter) drainGates(now time.Time) {
+	for _, g := range e.gates {
+		e.ship(g.drainAll(now))
 	}
 }
 
-// maybeReport flushes interval reports to the master.
+// closeOutRings closes every ring this emitter feeds (producer exit,
+// clean or panicking — the defer runs either way). Consumers prune the
+// closed rings once drained; idempotent.
+func (e *emitter) closeOutRings() {
+	for _, g := range e.gates {
+		for _, ref := range g.snapshot() {
+			if ref.ring != nil {
+				ref.ring.Close()
+			}
+		}
+	}
+}
+
+// forwardBarrier ships the barrier to every consumer of every gate.
+func (e *emitter) forwardBarrier(id int64, now time.Time) {
+	for _, g := range e.gates {
+		e.ship(g.barrierShipments(id, now))
+	}
+}
+
+// maybeReport flushes a source shard's interval report to the master.
+func (e *emitter) maybeReport(now time.Time) {
+	if now.Sub(e.lastFlush) < e.t.ex.cfg.MeasurementInterval {
+		return
+	}
+	e.lastFlush = now
+	rep := e.reporter.Flush()
+	// The vertex's true arrival process is the union of its shards'
+	// interleaved streams; scale the per-shard interarrival so the
+	// task-level rate the QoS manager derives stays honest.
+	if s := len(e.t.emitters); s > 1 && rep.InterarrivalCount > 0 {
+		rep.InterarrivalMean /= float64(s)
+	}
+	e.t.ex.offerReport(taskReportMsg{report: rep})
+}
+
+// ---- consumer-side processing ----
+
+// maybeReport flushes interval reports to the master (worker/sink
+// goroutine).
 func (t *task) maybeReport(now time.Time) {
 	if now.Sub(t.lastFlush) < t.ex.cfg.MeasurementInterval {
 		return
@@ -232,6 +553,8 @@ func (t *task) maybeReport(now time.Time) {
 func (t *task) handleBatch(b batch) {
 	now := time.Now()
 	t.now = now
+	e := t.emitters[0]
+	e.now = now
 	// Channel-level QoS: one sample per batch against the oldest record.
 	chID := model.ChannelID{Edge: t.inEdge(b), Producer: b.producer, Consumer: t.id.Index}
 	cr := t.chanReps[chID]
@@ -265,32 +588,33 @@ func (t *task) handleBatch(b batch) {
 			continue
 		}
 		t.reporter.RecordArrival(nowSeconds(cur))
-		t.curSpan = rec.span
-		t.curSrcID, t.curOffset = rec.srcID, rec.offset
+		e.curSpan = rec.span
+		e.curSrcID, e.curOffset = rec.srcID, rec.offset
 		t.udf.Process(&t.ctx, rec)
-		t.curSpan = nil
-		t.curSrcID, t.curOffset = 0, 0
+		e.curSpan = nil
+		e.curSrcID, e.curOffset = 0, 0
 		end := time.Now()
 		t.now = end
+		e.now = end
 		service := end.Sub(cur)
 		t.busyNs.Add(int64(service))
 		t.reporter.RecordService(service.Seconds())
 		if rw {
-			if rec.Sampled && len(t.rwPending) < 64 {
-				t.rwPending = append(t.rwPending, cur)
+			if rec.Sampled && len(e.rwPending) < 64 {
+				e.rwPending = append(e.rwPending, cur)
 			}
 		} else {
 			t.reporter.RecordTaskLatency(service.Seconds())
 		}
 		if rec.span != nil {
 			// Per-hop decomposition: time buffered at the producer, no
-			// separable network transit (in-process channels), then wait
+			// separable network transit (in-process rings), then wait
 			// from ship to service start.
 			batchDelay := b.shipped.Sub(b.oldestBuf).Seconds()
 			wait := cur.Sub(b.shipped).Seconds()
 			rec.span.Hop(t.id.Vertex, t.edgeNames[chID.Edge], batchDelay, 0, wait, service.Seconds())
 			t.ex.cfg.Telemetry.ObserveHop(nowSeconds(end), t.id.Vertex, t.edgeNames[chID.Edge], batchDelay, 0, wait, service.Seconds())
-			if len(t.gates) == 0 {
+			if len(e.gates) == 0 {
 				endS := nowSeconds(end)
 				rec.span.Finish(endS)
 				t.ex.cfg.Telemetry.ObserveE2E(endS, endS-rec.span.Start())
@@ -299,8 +623,15 @@ func (t *task) handleBatch(b batch) {
 		t.processed.Add(1)
 		done++
 		cur = end
+		// One slow-UDF batch can span several measurement intervals;
+		// flush interval reports mid-batch so the master's freshness
+		// gating keeps seeing this task while it grinds through a
+		// backlog (maybeReport is cheap when the interval hasn't lapsed).
+		if done&63 == 0 {
+			t.maybeReport(cur)
+		}
 	}
-	t.ex.pool.put(b.items)
+	t.ex.pool.put(b.poolHint, b.items)
 }
 
 // inEdge reconstructs the job edge a batch arrived on from its edge
@@ -315,10 +646,35 @@ func (t *task) inEdge(b batch) model.EdgeKey {
 	return model.EdgeKey{Target: t.id.Vertex}
 }
 
-// run is the worker-task main loop. A panicking UDF does not crash the
-// process: the supervisor defer (LIFO: it runs before taskDone) reports
-// the crash to the master, which unroutes the dead task and schedules a
-// backoff-delayed replacement.
+// resetTimer safely re-arms a timer owned by this goroutine.
+func resetTimer(tm *time.Timer, d time.Duration) {
+	if !tm.Stop() {
+		select {
+		case <-tm.C:
+		default:
+		}
+	}
+	tm.Reset(d)
+}
+
+// parkTimeout is how long an idle consumer sleeps before housekeeping
+// (report flush, drain-idle check) when nothing wakes it.
+func (t *task) parkTimeout() time.Duration {
+	if t.draining.Load() {
+		d := t.ex.cfg.DrainIdle / 4
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		return d
+	}
+	return t.ex.cfg.MeasurementInterval
+}
+
+// run is the worker-task main loop: poll the input rings round-robin,
+// process, then spin briefly and park. A panicking UDF does not crash
+// the process: the supervisor defer (LIFO: it runs before taskDone)
+// reports the crash to the master, which unroutes the dead task and
+// schedules a backoff-delayed replacement.
 func (t *task) run() {
 	defer t.ex.taskDone(t)
 	defer func() {
@@ -326,61 +682,141 @@ func (t *task) run() {
 			t.ex.reportFailure(t, r)
 		}
 	}()
-	ticker := time.NewTicker(t.ex.cfg.FlushTick)
-	defer ticker.Stop()
+	e := t.emitters[0]
+	defer e.closeOutRings()
 
 	var timerC <-chan time.Time
-	var timerTicker *time.Ticker
 	if tu, ok := t.udf.(TimerUDF); ok {
-		timerTicker = time.NewTicker(tu.TimerInterval())
+		timerTicker := time.NewTicker(tu.TimerInterval())
 		timerC = timerTicker.C
 		defer timerTicker.Stop()
 	}
+	parkTimer := time.NewTimer(time.Hour)
+	defer parkTimer.Stop()
+	resetTimer(parkTimer, time.Hour)
 
-	lastItem := time.Now()
+	t.now = time.Now()
+	e.now = t.now
+	lastItem := t.now
+	spins := 0
 	for {
-		select {
-		case b := <-t.in:
-			if b.barrier != 0 {
-				t.onBarrier(b)
-				continue
+		if t.quitClosed() {
+			return
+		}
+		worked := false
+		sawClosed := false
+		for _, r := range t.ringsSnapshot() {
+			// Bounded pops per ring per scan: a saturated producer must not
+			// pin the loop inside one ring, both for fairness across inputs
+			// and because flush servicing and QoS reporting only happen
+			// between scans — an unbounded drain starves maybeReport, the
+			// master marks the task's reports stale, and coverage gating
+			// then disables the scaler exactly when the task is the
+			// bottleneck it should resolve.
+			for popped := 0; popped < maxPopsPerScan; popped++ {
+				b, ok := r.Pop()
+				if !ok {
+					if r.Closed() {
+						sawClosed = true
+					}
+					break
+				}
+				if b.barrier != 0 {
+					t.onBarrier(b)
+				} else {
+					t.handleBatch(b)
+				}
+				worked = true
+				// Rate-limited (one clock compare when not due): a slow
+				// UDF over small batches must still deliver interval
+				// reports while a backlog keeps the rings non-empty.
+				t.maybeReport(t.now)
 			}
-			t.handleBatch(b)
+		}
+		if sawClosed {
+			t.pruneClosedRings()
+		}
+		if worked {
 			lastItem = t.now
-		case <-timerC:
+		}
+		if timerC != nil {
+			select {
+			case <-timerC:
+				t.now = time.Now()
+				e.now = t.now
+				t.udf.(TimerUDF).OnTimer(&t.ctx)
+			default:
+			}
+		}
+		if e.flushReq.Swap(false) {
 			t.now = time.Now()
-			t.udf.(TimerUDF).OnTimer(&t.ctx)
-		case now := <-ticker.C:
-			t.now = now
-			t.flushDue(now)
-			t.maybeReport(now)
-			if t.draining.Load() && now.Sub(lastItem) > t.ex.cfg.DrainIdle {
-				// Drain leftovers that raced the idle check, flush gates,
-				// and exit. Stray barriers are dropped: a draining task is
-				// outside the barrier flow (the master pauses injection
-				// while any task drains).
+			e.now = t.now
+			e.flushDue(t.now)
+		}
+		t.maybeReport(t.now)
+		if t.draining.Load() && t.now.Sub(lastItem) > t.ex.cfg.DrainIdle {
+			// Drain leftovers that raced the idle check, flush gates, and
+			// exit. Stray barriers are dropped: a draining task is outside
+			// the barrier flow (the master pauses injection while any task
+			// drains).
+			for _, r := range t.ringsSnapshot() {
 				for {
-					select {
-					case b := <-t.in:
-						if b.barrier == 0 {
-							t.handleBatch(b)
-						}
-					default:
-						t.now = time.Now()
-						t.drainGates(t.now)
-						return
+					b, ok := r.Pop()
+					if !ok {
+						break
+					}
+					if b.barrier == 0 {
+						t.handleBatch(b)
 					}
 				}
 			}
-		case <-t.quit:
+			t.now = time.Now()
+			e.now = t.now
+			e.drainGates(t.now)
 			return
 		}
+		if worked {
+			spins = 0
+			continue
+		}
+		spins++
+		if spins < idleSpins {
+			runtime.Gosched()
+			continue
+		}
+		// Park: publish parked, re-check the rings (the push-then-load
+		// protocol makes a missed wake impossible), then block.
+		t.parked.Store(true)
+		if t.ringsNonEmpty() || e.flushReq.Load() {
+			t.parked.Store(false)
+			spins = 0
+			continue
+		}
+		resetTimer(parkTimer, t.parkTimeout())
+		onTimer := false
+		select {
+		case <-t.wakeCh:
+		case <-timerC:
+			onTimer = true
+		case <-parkTimer.C:
+		case <-t.quit:
+			t.parked.Store(false)
+			return
+		}
+		t.parked.Store(false)
+		t.now = time.Now()
+		e.now = t.now
+		if onTimer {
+			t.udf.(TimerUDF).OnTimer(&t.ctx)
+		}
+		spins = 0
 	}
 }
 
-// runSource is the source-task main loop: schedule-paced emission. Like
-// run it is supervised: a panicking Emit is reported and the source
-// restarted instead of taking the process down.
+// runSource is the source-task supervisor loop: it runs the task's
+// shard emitters as goroutines and dies as a unit when one panics (the
+// first panic aborts the siblings and is re-raised here, so the master
+// sees exactly one failure per task, as with workers).
 func (t *task) runSource() {
 	defer t.ex.taskDone(t)
 	defer func() {
@@ -388,95 +824,174 @@ func (t *task) runSource() {
 			t.ex.reportFailure(t, r)
 		}
 	}()
-	ticker := time.NewTicker(t.ex.cfg.FlushTick)
-	defer ticker.Stop()
+	var firstPanic any
+	var panicOnce sync.Once
+	var wg sync.WaitGroup
+	for _, e := range t.emitters {
+		wg.Add(1)
+		go func(e *emitter) {
+			defer wg.Done()
+			defer e.closeOutRings()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { firstPanic = r })
+					t.abortShards()
+				}
+			}()
+			e.runSourceShard()
+		}(e)
+	}
+	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
+}
 
-	start := t.ex.start
+// spinWait is the pacing threshold below which a source shard busy-
+// polls instead of parking on a timer: OS timer granularity would
+// otherwise cap the emission rate at a few thousand rounds per second.
+const spinWait = 100 * time.Microsecond
+
+// maxBurst bounds how many emissions one pacing round performs, so
+// guarantees servicing and flush requests stay responsive under
+// saturating schedules.
+const maxBurst = 1024
+
+// runSourceShard is one source shard's pacing loop. Emission is
+// batched: every round emits all records that came due since the last
+// round (up to maxBurst), with per-emission schedule jitter, so the
+// per-round timer and clock overhead amortizes across the burst — this
+// is what breaks the one-timer-wakeup-per-record ceiling of the old
+// source loop. Behind schedule the shard does not try to catch up a
+// backlog (next = now), which keeps backpressure semantics intact.
+func (e *emitter) runSourceShard() {
+	t := e.t
+	ex := t.ex
+	start := ex.start
 	sched := t.src.Schedule
-	next := time.Now()
-	timer := time.NewTimer(0)
-	defer timer.Stop()
+	shards := len(t.emitters)
 
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	resetTimer(timer, time.Hour)
+
+	next := time.Now()
 	for {
-		select {
-		case <-t.quit:
+		if t.quitClosed() || t.abortClosed() {
 			return
-		case now := <-ticker.C:
-			t.now = now
-			t.serviceGuarantees(now)
-			t.flushDue(now)
-			t.maybeReport(now)
-		case <-timer.C:
-			now := time.Now()
-			elapsed := now.Sub(start).Seconds()
-			if t.draining.Load() {
-				t.now = now
-				t.drainGates(now)
+		}
+		now := time.Now()
+		e.now = now
+		e.serviceGuarantees(now)
+		if e.flushReq.Swap(false) {
+			e.flushDue(now)
+		}
+		if t.draining.Load() {
+			e.drainGates(now)
+			return
+		}
+		elapsed := now.Sub(start).Seconds()
+		rate := sched.Rate(elapsed)
+		if rate <= 0 {
+			if elapsed >= sched.Duration() {
+				if e.lingerForCommit(now) {
+					// Uncommitted replay buffer: stay alive (servicing
+					// barriers and replays) until a checkpoint commits it, so
+					// a late downstream crash can still be replayed.
+					e.park(timer, ex.cfg.FlushTick)
+					continue
+				}
+				e.drainGates(now)
 				return
 			}
-			rate := sched.Rate(elapsed)
-			if rate <= 0 {
-				if elapsed >= sched.Duration() {
-					t.now = now
-					if t.lingerForCommit(now) {
-						// Uncommitted replay buffer: stay alive (servicing
-						// barriers and replays on the flush ticker) until a
-						// checkpoint commits it, so a late downstream crash
-						// can still be replayed.
-						timer.Reset(t.ex.cfg.FlushTick)
-						continue
-					}
-					t.drainGates(now)
-					return
-				}
-				timer.Reset(50 * time.Millisecond)
-				continue
+			e.park(timer, 50*time.Millisecond)
+			continue
+		}
+		if e.srcLog != nil && e.srcLog.full() {
+			// Replay buffer at capacity: pause emission until a commit
+			// prunes it — backpressure, never loss.
+			e.srcLog.stalls.Add(1)
+			e.park(timer, ex.cfg.FlushTick)
+			continue
+		}
+		// The shard's share of the schedule: the vertex rate divides by
+		// live tasks × shards per task.
+		n := ex.parallelismOf(t.id.Vertex)
+		if n < 1 {
+			n = 1
+		}
+		perEmit := float64(n*shards) / rate
+		burst := 0
+		for burst < maxBurst && !next.After(now) {
+			e.curSpan = ex.cfg.Tracer.StartSpan(nowSeconds(e.now))
+			t.src.Emit(&e.ctx)
+			e.curSpan = nil
+			burst++
+			// ±10% jitter keeps source shards out of lockstep.
+			jitter := 0.9 + 0.2*e.rng.Float64()
+			next = next.Add(time.Duration(perEmit * jitter * float64(time.Second)))
+			if e.srcLog != nil && e.srcLog.full() {
+				break
 			}
-			if t.srcLog != nil && t.srcLog.full() {
-				// Replay buffer at capacity: pause emission until a commit
-				// prunes it — backpressure, never loss.
-				t.srcLog.stalls.Add(1)
-				timer.Reset(t.ex.cfg.FlushTick)
-				continue
+		}
+		if burst > 0 {
+			end := time.Now()
+			e.now = end
+			cost := end.Sub(now)
+			t.busyNs.Add(int64(cost))
+			per := cost.Seconds() / float64(burst)
+			ts := nowSeconds(now)
+			for i := 0; i < burst; i++ {
+				e.reporter.RecordArrival(ts)
+				e.reporter.RecordService(per)
+				e.reporter.RecordTaskLatency(per)
 			}
-			emitStart := time.Now()
-			t.now = emitStart
-			t.reporter.RecordArrival(nowSeconds(emitStart))
-			t.curSpan = t.ex.cfg.Tracer.StartSpan(nowSeconds(emitStart))
-			t.src.Emit(&t.ctx)
-			t.curSpan = nil
-			emitCost := time.Since(emitStart)
-			t.busyNs.Add(int64(emitCost))
-			t.reporter.RecordService(emitCost.Seconds())
-			t.reporter.RecordTaskLatency(emitCost.Seconds())
-			t.ex.emitted.Add(1)
-			t.processed.Add(1)
-			n := t.ex.parallelismOf(t.id.Vertex)
-			if n < 1 {
-				n = 1
-			}
-			interval := time.Duration(float64(n) / rate * float64(time.Second))
-			// ±10% jitter keeps source tasks out of lockstep.
-			interval = time.Duration(float64(interval) * (0.9 + 0.2*t.rng.Float64()))
-			next = next.Add(interval)
-			if wait := time.Until(next); wait > 0 {
-				timer.Reset(wait)
-			} else {
-				// Backpressure or saturation pushed us behind schedule;
-				// do not try to catch up a backlog.
+			ex.emitted.Add(int64(burst))
+			t.processed.Add(int64(burst))
+			e.emitCount.Add(int64(burst))
+			now = end
+			if next.Before(now) {
+				// Backpressure or saturation pushed us behind schedule; do
+				// not try to catch up a backlog.
 				next = now
-				timer.Reset(0)
 			}
+		}
+		e.maybeReport(now)
+		if wait := next.Sub(now); wait > spinWait {
+			e.park(timer, wait)
+		} else if burst == 0 {
+			runtime.Gosched()
 		}
 	}
 }
 
+// park blocks a source shard for d, or until the master or the flush
+// wheel wakes it (barrier/replay/flush requests raised before the
+// parked flag became visible are caught by the re-check).
+func (e *emitter) park(timer *time.Timer, d time.Duration) {
+	e.parked.Store(true)
+	if e.flushReq.Load() || e.barrierReq.Load() != 0 ||
+		(e.srcLog != nil && e.srcLog.replayReq.Load() != 0) || e.t.draining.Load() {
+		e.parked.Store(false)
+		return
+	}
+	resetTimer(timer, d)
+	select {
+	case <-timer.C:
+	case <-e.wakeCh:
+	case <-e.t.quit:
+	case <-e.t.shardAbort:
+	}
+	e.parked.Store(false)
+}
+
 // onBarrier aligns one inbound checkpoint barrier (worker goroutine).
 // Counting alignment: the task forwards the barrier once markers from
-// every live upstream producer arrived, without blocking any channel
-// (at-least-once alignment — replay duplicates are the dedup sinks'
-// job). Expected counts come from the coordinator, which arms them at
-// injection; barriers of superseded checkpoints simply never complete.
+// every live upstream producer emitter arrived, without blocking any
+// ring (at-least-once alignment — replay duplicates are the dedup
+// sinks' job). Expected counts come from the coordinator, which arms
+// them at injection; barriers of superseded checkpoints simply never
+// complete.
 func (t *task) onBarrier(b batch) {
 	id := b.barrier
 	if id == t.alignDone {
@@ -494,80 +1009,74 @@ func (t *task) onBarrier(b batch) {
 	}
 	now := time.Now()
 	t.now = now
+	e := t.emitters[0]
+	e.now = now
 	t.alignDone = id
 	// Flush buffered pre-barrier output before forwarding so the marker
 	// stays behind everything this task derived from pre-barrier input.
-	t.drainGates(now)
-	t.forwardBarrier(id, now)
+	e.drainGates(now)
+	e.forwardBarrier(id, now)
 	t.ex.coord.ackWorker(id, t, now.Sub(t.alignStart))
 }
 
-// forwardBarrier ships the barrier to every consumer of every out-gate.
-func (t *task) forwardBarrier(id int64, now time.Time) {
-	for _, g := range t.gates {
-		t.ship(g.barrierShipments(id, now))
-	}
-}
-
-// serviceGuarantees handles a source's pending replay and barrier
-// requests (source goroutine, flush tick). Replay runs first: a barrier
-// injected after a recovery must trail the re-emitted records, so the
-// commit's "everything below the watermark was delivered" claim covers
-// them.
-func (t *task) serviceGuarantees(now time.Time) {
-	if t.srcLog == nil {
+// serviceGuarantees handles a source shard's pending replay and barrier
+// requests (shard goroutine). Replay runs first: a barrier injected
+// after a recovery must trail the re-emitted records, so the commit's
+// "everything below the watermark was delivered" claim covers them.
+func (e *emitter) serviceGuarantees(now time.Time) {
+	if e.srcLog == nil {
 		return
 	}
-	if t.srcLog.replayReq.Swap(0) != 0 {
-		t.replayLog(now)
+	if e.srcLog.replayReq.Swap(0) != 0 {
+		e.replayLog(now)
 	}
-	if id := t.barrierReq.Swap(0); id != 0 {
-		t.drainGates(now)
-		t.forwardBarrier(id, now)
-		t.ex.coord.ackSource(id, t.srcLog.id, t.srcLog.nextOffset())
+	if id := e.barrierReq.Swap(0); id != 0 {
+		e.drainGates(now)
+		e.forwardBarrier(id, now)
+		e.t.ex.coord.ackSource(id, e.srcLog.id, e.srcLog.nextOffset())
 	}
 }
 
 // replayLog re-emits the log's uncommitted suffix through the gates
-// with the original offsets (source goroutine). Downstream this looks
+// with the original offsets (shard goroutine). Downstream this looks
 // like fresh traffic; sinks dedup on (source, offset).
-func (t *task) replayLog(now time.Time) {
-	t.replayScratch = t.srcLog.copyUncommitted(t.replayScratch[:0])
-	n := len(t.replayScratch)
+func (e *emitter) replayLog(now time.Time) {
+	e.replayScratch = e.srcLog.copyUncommitted(e.replayScratch[:0])
+	n := len(e.replayScratch)
 	if n == 0 {
 		return
 	}
-	t.replaying = true
-	for i := range t.replayScratch {
-		t.emit(int(t.replayScratch[i].edge), t.replayScratch[i].rec)
-		t.replayScratch[i] = logEntry{} // drop payload references
+	e.replaying = true
+	for i := range e.replayScratch {
+		e.emit(int(e.replayScratch[i].edge), e.replayScratch[i].rec)
+		e.replayScratch[i] = logEntry{} // drop payload references
 	}
-	t.replaying = false
-	t.ex.replayedRecords.Add(int64(n))
-	t.ex.recordLifecycle(obs.KindReplay, obs.Lifecycle{
-		Vertex: t.id.Vertex, Task: t.id.String(), CommittedOffsets: uint64(n),
+	e.replaying = false
+	e.t.ex.replayedRecords.Add(int64(n))
+	e.t.ex.recordLifecycle(obs.KindReplay, obs.Lifecycle{
+		Vertex: e.t.id.Vertex, Task: e.t.id.String(), CommittedOffsets: uint64(n),
 	})
-	t.ex.cfg.Telemetry.AddReplayed(nowSeconds(now), int64(n))
+	e.t.ex.cfg.Telemetry.AddReplayed(nowSeconds(now), int64(n))
 }
 
-// lingerForCommit reports whether an exhausted source should keep
+// lingerForCommit reports whether an exhausted source shard should keep
 // running so a final checkpoint can commit its replay buffer — records
 // are only safe from a downstream crash once committed. Bounded so a
 // pipeline that can no longer commit (e.g. a degraded vertex) cannot
 // hang shutdown forever.
-func (t *task) lingerForCommit(now time.Time) bool {
-	if t.srcLog == nil || t.srcLog.uncommitted() == 0 {
+func (e *emitter) lingerForCommit(now time.Time) bool {
+	if e.srcLog == nil || e.srcLog.uncommitted() == 0 {
 		return false
 	}
-	if t.lingerStart.IsZero() {
-		t.lingerStart = now
+	if e.lingerStart.IsZero() {
+		e.lingerStart = now
 	}
-	cap := 10 * t.ex.cfg.CheckpointInterval
+	cap := 10 * e.t.ex.cfg.CheckpointInterval
 	if cap < 2*time.Second {
 		cap = 2 * time.Second
 	}
-	if now.Sub(t.lingerStart) > cap {
-		t.ex.lingerTimeouts.Add(1)
+	if now.Sub(e.lingerStart) > cap {
+		e.t.ex.lingerTimeouts.Add(1)
 		return false
 	}
 	return true
@@ -580,7 +1089,7 @@ func (c *Context) Sample() bool {
 	if c.t.src != nil && c.t.src.SampleProbability > 0 {
 		p = c.t.src.SampleProbability
 	}
-	return c.t.rng.Float64() < p
+	return c.e.rng.Float64() < p
 }
 
 // nowSeconds converts a wall-clock time to float64 seconds.

@@ -1,0 +1,146 @@
+// Package ring provides a bounded, lock-free single-producer /
+// single-consumer queue — the engine data plane's replacement for
+// mutex-guarded Go channels on the record hot path (see DESIGN.md
+// "Engine data plane").
+//
+// The discipline is strictly SPSC: exactly one goroutine may call Push
+// and exactly one may call Pop. Close and Drain relax that for
+// teardown — Close may be called by the producer (clean exit) or by a
+// supervising goroutine after the consumer died; Drain uses a CAS on
+// the head index so concurrent supervisors can reclaim leftovers with
+// each item handed to exactly one caller (after the consumer goroutine
+// has exited).
+package ring
+
+import (
+	"sync/atomic"
+)
+
+// cacheLinePad separates the producer- and consumer-owned indices so
+// they never share a cache line (false sharing halves SPSC throughput).
+type cacheLinePad struct{ _ [64]byte }
+
+// SPSC is a bounded single-producer/single-consumer ring buffer.
+// Capacity is rounded up to a power of two so index wrapping is a mask.
+//
+// Memory ordering: Go's sync/atomic operations are sequentially
+// consistent, which subsumes the acquire/release pairing a classic
+// SPSC queue needs — the producer's tail.Store publishes the slot
+// write, the consumer's tail.Load acquires it, and symmetrically for
+// head on the recycle path.
+type SPSC[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next slot to pop (consumer-advanced)
+	// cachedTail is the consumer's snapshot of tail: the consumer only
+	// re-reads the shared tail when the snapshot says "empty", so a
+	// drained-then-refilled ring costs one shared load per batch of
+	// pushes instead of one per pop.
+	cachedTail uint64
+
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot to push (producer-advanced)
+	// cachedHead mirrors cachedTail for the producer's full check.
+	cachedHead uint64
+
+	_      cacheLinePad
+	closed atomic.Bool
+}
+
+// New builds a ring with capacity ≥ capacity rounded up to a power of
+// two (minimum 2).
+func New[T any](capacity int) *SPSC[T] {
+	n := uint64(2)
+	for int(n) < capacity {
+		n <<= 1
+	}
+	return &SPSC[T]{buf: make([]T, n), mask: n - 1}
+}
+
+// Cap returns the ring's (rounded) capacity.
+func (r *SPSC[T]) Cap() int { return len(r.buf) }
+
+// Len returns the current occupancy (racy snapshot; exact only when
+// both ends are quiescent).
+func (r *SPSC[T]) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Push enqueues v. It returns false — without enqueueing — when the
+// ring is full or closed; the producer decides whether to spin, park,
+// or drop. Producer goroutine only.
+//
+// Closed-ness is checked before the publish, so at most one Push that
+// raced a concurrent Close can still land in the buffer; Drain (which
+// teardown runs after Close) reclaims it.
+func (r *SPSC[T]) Push(v T) bool {
+	if r.closed.Load() {
+		return false
+	}
+	tail := r.tail.Load()
+	if tail-r.cachedHead >= uint64(len(r.buf)) {
+		r.cachedHead = r.head.Load()
+		if tail-r.cachedHead >= uint64(len(r.buf)) {
+			return false
+		}
+	}
+	r.buf[tail&r.mask] = v
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Pop dequeues the oldest item. The second return is false when the
+// ring is empty. Consumer goroutine only (use Drain from supervisors).
+func (r *SPSC[T]) Pop() (T, bool) {
+	var zero T
+	head := r.head.Load()
+	if head == r.cachedTail {
+		r.cachedTail = r.tail.Load()
+		if head == r.cachedTail {
+			return zero, false
+		}
+	}
+	v := r.buf[head&r.mask]
+	r.buf[head&r.mask] = zero
+	r.head.Store(head + 1)
+	return v, true
+}
+
+// Close marks the ring closed: subsequent Pushes fail. Pop and Drain
+// keep returning whatever is already buffered. Idempotent; callable
+// from any goroutine.
+func (r *SPSC[T]) Close() { r.closed.Store(true) }
+
+// Closed reports whether Close was called.
+func (r *SPSC[T]) Closed() bool { return r.closed.Load() }
+
+// Empty reports whether the ring currently holds nothing.
+func (r *SPSC[T]) Empty() bool { return r.tail.Load() == r.head.Load() }
+
+// Drain pops one item like Pop, but advances head with a CAS so that
+// multiple concurrent Drain callers each receive a buffered item at
+// most once. Teardown path: the master drains a crashed consumer's
+// rings (mirroring the dead-consumer channel drain of the pre-ring
+// engine) after Close has stopped the producer and the consumer
+// goroutine has exited — Drain must not race Pop, whose head advance
+// is a plain store.
+func (r *SPSC[T]) Drain() (T, bool) {
+	var zero T
+	for {
+		head := r.head.Load()
+		if head == r.tail.Load() {
+			return zero, false
+		}
+		v := r.buf[head&r.mask]
+		if r.head.CompareAndSwap(head, head+1) {
+			// The slot is intentionally not zeroed here: a concurrent Pop
+			// may already have claimed a later index and zeroing buf[head]
+			// after a lost CAS would clobber a live slot one lap later.
+			// Drained rings are teardown garbage; the GC reclaims them
+			// wholesale.
+			return v, true
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {64, 64}, {65, 128},
+	} {
+		if got := New[int](tc.ask).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestEmptyPop(t *testing.T) {
+	r := New[int](4)
+	if v, ok := r.Pop(); ok {
+		t.Fatalf("Pop on empty ring returned %v", v)
+	}
+	if !r.Empty() || r.Len() != 0 {
+		t.Fatalf("empty ring reports Empty=%v Len=%d", r.Empty(), r.Len())
+	}
+}
+
+func TestFullPushFails(t *testing.T) {
+	r := New[int](4)
+	for i := 0; i < r.Cap(); i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push %d failed below capacity", i)
+		}
+	}
+	if r.Push(99) {
+		t.Fatal("Push succeeded on a full ring")
+	}
+	if r.Len() != r.Cap() {
+		t.Fatalf("Len = %d, want %d", r.Len(), r.Cap())
+	}
+	// Freeing one slot re-admits exactly one push.
+	if v, ok := r.Pop(); !ok || v != 0 {
+		t.Fatalf("Pop = %v,%v, want 0,true", v, ok)
+	}
+	if !r.Push(99) {
+		t.Fatal("Push failed with a free slot")
+	}
+	if r.Push(100) {
+		t.Fatal("Push succeeded past the freed slot")
+	}
+}
+
+// TestWraparound cycles the indices far past the buffer length so the
+// mask arithmetic and the cached-index fast paths are exercised across
+// many laps, preserving FIFO order throughout.
+func TestWraparound(t *testing.T) {
+	r := New[int](8)
+	next := 0
+	for lap := 0; lap < 1000; lap++ {
+		n := 1 + lap%r.Cap()
+		for i := 0; i < n; i++ {
+			if !r.Push(lap*100 + i) {
+				t.Fatalf("lap %d: push %d failed", lap, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v, ok := r.Pop()
+			if !ok {
+				t.Fatalf("lap %d: pop %d empty", lap, i)
+			}
+			if v != lap*100+i {
+				t.Fatalf("lap %d: pop = %d, want %d (FIFO violated)", lap, v, lap*100+i)
+			}
+		}
+		next++
+	}
+}
+
+// TestConcurrentSPSC is the property test: one producer, one consumer,
+// run under -race in CI. Every pushed value must arrive exactly once,
+// in order.
+func TestConcurrentSPSC(t *testing.T) {
+	const total = 1 << 18
+	r := New[uint64](64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := uint64(0); i < total; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	var next uint64
+	for next < total {
+		v, ok := r.Pop()
+		if !ok {
+			runtime.Gosched()
+			continue
+		}
+		if v != next {
+			t.Fatalf("popped %d, want %d (order or duplication bug)", v, next)
+		}
+		next++
+	}
+	wg.Wait()
+	if !r.Empty() {
+		t.Fatalf("ring not empty after all pops: Len=%d", r.Len())
+	}
+}
+
+// TestCloseStopsPushes mirrors the dead-consumer gate semantics: after
+// the supervisor closes a crashed consumer's ring, the producer's next
+// Push fails and it can account the records as lost instead of
+// spinning forever on a full ring.
+func TestCloseStopsPushes(t *testing.T) {
+	r := New[int](4)
+	if !r.Push(1) {
+		t.Fatal("push before close failed")
+	}
+	r.Close()
+	if r.Push(2) {
+		t.Fatal("Push succeeded after Close")
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+	// Buffered items remain poppable after close.
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("Pop after close = %v,%v, want 1,true", v, ok)
+	}
+	r.Close() // idempotent
+}
+
+// TestCloseWhileBlockedDrain: a producer spinning on a full ring is
+// unblocked by a supervisor's Close, and the supervisor's Drain then
+// reclaims everything buffered exactly once — the ring-plane equivalent
+// of the master draining a crashed task's input channel.
+func TestCloseWhileBlockedDrain(t *testing.T) {
+	r := New[int](8)
+	var rejected atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			for !r.Push(i) {
+				if r.Closed() {
+					rejected.Add(1)
+					return // producer observed the dead consumer
+				}
+				runtime.Gosched()
+			}
+		}
+	}()
+	// Wait until the producer has filled the ring and is blocked.
+	for r.Len() < r.Cap() {
+		runtime.Gosched()
+	}
+	r.Close()
+	wg.Wait()
+	if rejected.Load() != 1 {
+		t.Fatalf("producer did not observe close exactly once: %d", rejected.Load())
+	}
+	// Drain from two goroutines; each buffered item must surface once.
+	var mu sync.Mutex
+	seen := map[int]int{}
+	var dwg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			for {
+				v, ok := r.Drain()
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[v]++
+				mu.Unlock()
+			}
+		}()
+	}
+	dwg.Wait()
+	if len(seen) != 8 {
+		t.Fatalf("drained %d distinct items, want 8 (full ring)", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d drained %d times", v, n)
+		}
+	}
+	if v, ok := r.Drain(); ok {
+		t.Fatalf("Drain on empty ring returned %v", v)
+	}
+}
+
+func BenchmarkSPSCPushPop(b *testing.B) {
+	r := New[uint64](1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for popped := 0; popped < b.N; {
+			if _, ok := r.Pop(); ok {
+				popped++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		if r.Push(uint64(i)) {
+			i++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	<-done
+}
