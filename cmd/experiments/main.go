@@ -9,7 +9,7 @@
 // Usage:
 //
 //	experiments [-out DIR] [-paper] [-guarantee MODE] [-ckpt.interval S]
-//	            [fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|bench|all]
+//	            [fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|dataplane|bench|all]
 //
 // Without -paper the quick (laptop-scale) variants run; -paper uses the
 // full 130-node topology and 60 s steps (minutes of wall-clock time).
@@ -51,7 +51,7 @@ func main() {
 	paper := flag.Bool("paper", false, "run at full paper scale (slow)")
 	guarantee := flag.String("guarantee", "at-most-once", "processing guarantee for the faults experiment: at-most-once | at-least-once | exactly-once")
 	ckptInterval := flag.Float64("ckpt.interval", 1, "checkpoint interval in virtual seconds (guaranteed faults run)")
-	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /slo, /dash, /debug/pprof, /scaler/decisions) on this address")
+	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /slo, /dataplane, /dash, /debug/pprof, /scaler/decisions) on this address")
 	obsLinger := flag.Duration("obs.linger", 0, "keep the introspection server alive this long after the experiments finish (for scraping a completed run)")
 	engine.RegisterFlags(flag.CommandLine) // -engine.shards, -engine.wheel (live-engine bench runs)
 	flag.Parse()
@@ -150,8 +150,15 @@ func run(outDir string, paper bool, which string, guarantee ckpt.Guarantee, ckpt
 		}
 		failures += n
 	}
-	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" && which != "guarantees" && which != "tails" {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|bench|all)", which)
+	if all || which == "dataplane" {
+		n, err := runDataplane(outDir)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
+	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" && which != "guarantees" && which != "tails" && which != "dataplane" {
+		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|dataplane|bench|all)", which)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d shape check(s) failed", failures)
@@ -418,6 +425,47 @@ func runTails(outDir string, paper bool) (int, error) {
 	fmt.Printf("  wrote %s (%d hops)\n", path, len(res.Attribution.Hops))
 
 	tsPath := filepath.Join(outDir, "tails_timeseries.json")
+	tf, err := os.Create(tsPath)
+	if err != nil {
+		return n, err
+	}
+	defer tf.Close()
+	if err := telemetry.WriteJSON(tf); err != nil {
+		return n, err
+	}
+	fmt.Printf("  wrote %s (%d series)\n", tsPath, telemetry.Store().Len())
+	return n, nil
+}
+
+func runDataplane(outDir string) (int, error) {
+	opts := experiments.DataplaneQuick()
+	opts.Recorder = recorder
+	opts.Telemetry = telemetry
+	start := time.Now()
+	res, err := experiments.RunDataplane(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Data plane: backpressure attribution on a consumer bottleneck", res.Checks, time.Since(start))
+
+	path := filepath.Join(outDir, "dataplane.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return n, err
+	}
+	defer f.Close()
+	fmt.Fprintln(f, "edge,state,culprit,onsets,idle,producer_limited,consumer_limited,ring_saturated")
+	for _, st := range res.Statuses {
+		fmt.Fprintf(f, "%s,%s,%s,%d,%d,%d,%d,%d\n",
+			st.Edge, st.State, st.Culprit, st.Onsets,
+			st.Intervals[string(obs.BackpressureIdle)],
+			st.Intervals[string(obs.BackpressureProducerLimited)],
+			st.Intervals[string(obs.BackpressureConsumerLimited)],
+			st.Intervals[string(obs.BackpressureRingSaturated)])
+	}
+	fmt.Printf("  wrote %s (%d edges)\n", path, len(res.Statuses))
+
+	tsPath := filepath.Join(outDir, "dataplane_timeseries.json")
 	tf, err := os.Create(tsPath)
 	if err != nil {
 		return n, err

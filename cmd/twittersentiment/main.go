@@ -31,7 +31,7 @@ func main() {
 	tracePath := flag.String("trace", "", "replay a recorded JSONL tweet trace (see cmd/tracegen)")
 	speedup := flag.Float64("speedup", 1, "replay speed multiplier for -trace")
 	seed := flag.Int64("seed", 1, "random seed")
-	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /slo, /dash, /debug/pprof, /scaler/decisions) on this address")
+	obsAddr := flag.String("obs.addr", "", "serve introspection endpoints (/healthz, /metrics, /timeseries, /slo, /dataplane, /dash, /debug/pprof, /scaler/decisions) on this address")
 	decisionsPath := flag.String("decisions", "", "write the scaler's decision audit trail to this JSONL file")
 	timeseriesPath := flag.String("timeseries", "", "write the telemetry time series and residual stats to this JSON file")
 	guarantee := flag.String("guarantee", "at-most-once", "processing guarantee: at-most-once | at-least-once | exactly-once")

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nephelix/internal/model"
+	"nephelix/internal/obs"
 	"nephelix/internal/workload"
 )
 
@@ -45,6 +46,11 @@ func allocEngineRun(t *testing.T) float64 {
 		Seed:                1,
 		MeasurementInterval: 100 * time.Millisecond,
 		AdjustmentInterval:  250 * time.Millisecond,
+		// Full data-plane instrumentation stays on: the scrape and the
+		// ring/wheel/pool counters must not put allocations (or any other
+		// cost) on the per-record path — the budget below covers them.
+		Telemetry: obs.NewTelemetry(64),
+		Recorder:  obs.NewRecorder(64),
 	}).Submit(spec, nil)
 	if err != nil {
 		t.Fatal(err)

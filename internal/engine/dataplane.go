@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"strconv"
+	"time"
+
+	"nephelix/internal/model"
+	"nephelix/internal/obs"
+)
+
+// dataplaneScraper derives one obs.DataplaneSnapshot per adjustment
+// interval from the sharded data plane's cumulative counters: ring
+// push/stall/pop totals per edge, emitter pacing per source shard, the
+// flush wheel's fire/park accounting and the batch pool's hit/miss
+// counts. It runs on the master goroutine only; all cross-goroutine
+// reads go through the counters' own atomic (or mutex) snapshots, so
+// sampling adds no synchronization to the hot path. Rates are the
+// difference of consecutive cumulative samples over the elapsed
+// interval, with negative deltas clamped to zero (rings and tasks come
+// and go under scaling and churn).
+type dataplaneScraper struct {
+	lastAt    time.Time
+	prevEdges map[model.EdgeKey]edgeTotals
+	prevBusy  map[string]int64 // per-task cumulative busyNs, keyed by TaskID string
+	prevEmit  map[string]int64 // per-lane cumulative emitted, keyed by task/shard
+	prevWheel wheelStats
+	prevPool  [poolShards]poolShardStats
+}
+
+// edgeTotals is one edge's summed cumulative ring counters.
+type edgeTotals struct {
+	pushes uint64
+	fails  uint64
+	pops   uint64
+}
+
+// edgeSample accumulates one edge's walk state before derivation.
+type edgeSample struct {
+	rings     int
+	occupancy int
+	capacity  int
+	highWater int
+	totals    edgeTotals
+}
+
+// scrapeDataplane samples the data plane and feeds telemetry (master
+// loop, once per adjustment interval). No-op without telemetry.
+func (ex *execution) scrapeDataplane() {
+	if ex.cfg.Telemetry == nil {
+		return
+	}
+	if ex.dp == nil {
+		ex.dp = &dataplaneScraper{
+			lastAt:    ex.start,
+			prevEdges: make(map[model.EdgeKey]edgeTotals),
+			prevBusy:  make(map[string]int64),
+			prevEmit:  make(map[string]int64),
+		}
+	}
+	dp := ex.dp
+	now := time.Now()
+	interval := now.Sub(dp.lastAt).Seconds()
+	if interval <= 0 {
+		interval = ex.cfg.AdjustmentInterval.Seconds()
+	}
+	snap := obs.DataplaneSnapshot{
+		At:              time.Since(ex.start).Seconds(),
+		Layer:           "engine",
+		IntervalSeconds: interval,
+	}
+
+	ex.mu.Lock()
+	// Per-edge ring walk: every producer emitter's gates hold the rings
+	// into each consumer; aggregate them per job edge.
+	edges := make(map[model.EdgeKey]*edgeSample)
+	busyNow := make(map[string]int64)
+	vertexBusy := make(map[string]float64)
+	for _, name := range ex.order {
+		vs := ex.vertices[name]
+		var busyDelta int64
+		for _, t := range vs.tasks {
+			b := t.busyNs.Load()
+			id := t.id.String()
+			busyNow[id] = b
+			if prev, ok := dp.prevBusy[id]; ok && b >= prev {
+				busyDelta += b - prev
+			} else {
+				busyDelta += b
+			}
+			for _, e := range t.emitters {
+				for _, g := range e.gates {
+					es := edges[g.edge]
+					if es == nil {
+						es = &edgeSample{}
+						edges[g.edge] = es
+					}
+					for _, ref := range g.snapshot() {
+						st := ref.ring.Stats()
+						es.rings++
+						es.occupancy += ref.ring.Len()
+						es.capacity += ref.ring.Cap()
+						if hw := int(st.HighWater); hw > es.highWater {
+							es.highWater = hw
+						}
+						es.totals.pushes += st.Pushes
+						es.totals.fails += st.PushFails
+						es.totals.pops += st.Pops
+					}
+				}
+			}
+		}
+		if n := len(vs.tasks); n > 0 {
+			frac := float64(busyDelta) / (interval * 1e9 * float64(n))
+			if frac > 1 {
+				frac = 1
+			}
+			vertexBusy[name] = frac
+		}
+	}
+
+	// Source emitter lanes: intended vs actual emit rate, park/wake.
+	for _, name := range ex.order {
+		vs := ex.vertices[name]
+		for _, t := range vs.tasks {
+			if t.src == nil {
+				continue
+			}
+			n := int(vs.count.Load())
+			if n < 1 {
+				n = 1
+			}
+			shards := len(t.emitters)
+			intended := t.src.Schedule.Rate(snap.At) / float64(n*shards)
+			if intended < 0 {
+				intended = 0
+			}
+			for _, e := range t.emitters {
+				emitted := e.emitCount.Load()
+				key := t.id.String() + "/" + strconv.Itoa(e.shard)
+				var d int64
+				if prev, ok := dp.prevEmit[key]; ok && emitted >= prev {
+					d = emitted - prev
+				} else {
+					d = emitted
+				}
+				dp.prevEmit[key] = emitted
+				actual := float64(d) / interval
+				lag := 0.0
+				if intended > 0 && actual < intended {
+					lag = (intended - actual) / intended
+				}
+				snap.Shards = append(snap.Shards, obs.DataplaneShard{
+					Vertex:       name,
+					Task:         t.id.String(),
+					Shard:        e.shard,
+					Emitted:      emitted,
+					ActualRate:   actual,
+					IntendedRate: intended,
+					LagFrac:      lag,
+					Parks:        e.parks.Load(),
+					Wakes:        e.wakes.Load(),
+				})
+			}
+		}
+	}
+	ex.mu.Unlock()
+	dp.prevBusy = busyNow
+
+	// Derive per-edge interval rates in deterministic edge order.
+	g := ex.spec.graph
+	for _, e := range g.Edges() {
+		ek := e.Key()
+		es := edges[ek]
+		if es == nil {
+			continue
+		}
+		prev := dp.prevEdges[ek]
+		dp.prevEdges[ek] = es.totals
+		de := obs.DataplaneEdge{
+			Edge:      ek.String(),
+			Producer:  ek.Source,
+			Consumer:  ek.Target,
+			Rings:     es.rings,
+			Occupancy: es.occupancy,
+			Capacity:  es.capacity,
+			HighWater: es.highWater,
+			Pushes:    es.totals.pushes,
+			PushFails: es.totals.fails,
+			Pops:      es.totals.pops,
+		}
+		de.PushRate = counterRate(es.totals.pushes, prev.pushes, interval)
+		de.PopRate = counterRate(es.totals.pops, prev.pops, interval)
+		de.StallRate = counterRate(es.totals.fails, prev.fails, interval)
+		attempts := de.PushRate + de.StallRate
+		if attempts > 0 {
+			de.StallFrac = de.StallRate / attempts
+		}
+		if es.capacity > 0 {
+			de.OccupancyFrac = float64(es.occupancy) / float64(es.capacity)
+		}
+		if de.PopRate > 0 {
+			de.RingWaitSeconds = float64(es.occupancy) / de.PopRate
+		}
+		de.ConsumerBusy = vertexBusy[ek.Target]
+		snap.Edges = append(snap.Edges, de)
+	}
+
+	ws := ex.wheel.stats(now.UnixNano())
+	parked := float64(ws.parkedNs-dp.prevWheel.parkedNs) / (interval * 1e9)
+	if parked < 0 {
+		parked = 0
+	}
+	if parked > 1 {
+		parked = 1
+	}
+	snap.Wheel = &obs.DataplaneWheel{Fires: ws.fires, Armed: ws.armed, ParkedFrac: parked}
+	dp.prevWheel = ws
+
+	ps := ex.pool.stats()
+	for i := range ps {
+		dh := ps[i].Hits - dp.prevPool[i].Hits
+		dm := ps[i].Misses - dp.prevPool[i].Misses
+		rate := 1.0
+		if dh+dm > 0 {
+			rate = float64(dh) / float64(dh+dm)
+		}
+		snap.Pool = append(snap.Pool, obs.DataplanePoolShard{
+			Shard: i, Hits: ps[i].Hits, Misses: ps[i].Misses, Puts: ps[i].Puts, HitRate: rate,
+		})
+	}
+	dp.prevPool = ps
+	dp.lastAt = now
+
+	ex.cfg.Telemetry.ObserveDataplane(snap, ex.cfg.Recorder)
+}
+
+// counterRate is the clamped per-second delta of a cumulative counter.
+func counterRate(cur, prev uint64, interval float64) float64 {
+	if cur <= prev || interval <= 0 {
+		return 0
+	}
+	return float64(cur-prev) / interval
+}

@@ -341,6 +341,10 @@ type execution struct {
 	// FlushTick tickers.
 	wheel *flushWheel
 
+	// dp is the data-plane sampler's interval state (dataplane.go);
+	// master goroutine only, lazily built on the first scrape.
+	dp *dataplaneScraper
+
 	// Supervision: tasks announce panics on failures (before their exit
 	// hook runs), the master schedules restarts onto restarts after a
 	// backoff delay. supervisors is master-goroutine-only state.
@@ -899,6 +903,7 @@ func (ex *execution) handleTaskFailure(f taskFailure, stopping bool) {
 	// Close first so producers stop pushing, then drain: the dead task's
 	// goroutine no longer pops (reportFailure runs during its unwind), so
 	// Drain cannot race a Pop.
+	lostByEdge := make(map[model.EdgeKey]int64)
 	for _, r := range f.t.ringsSnapshot() {
 		r.Close()
 		for {
@@ -908,8 +913,22 @@ func (ex *execution) handleTaskFailure(f taskFailure, stopping bool) {
 			}
 			if b.barrier == 0 {
 				ex.lostRecords.Add(int64(len(b.items)))
+				lostByEdge[f.t.inEdge(b)] += int64(len(b.items))
 				ex.pool.put(b.poolHint, b.items)
 			}
+		}
+	}
+	// Audit the reclaim: one ring_drain event per inbound edge that lost
+	// queued records, so the flight recorder shows where a crash cost
+	// data instead of a bare execution-wide counter.
+	for _, ek := range g.InEdges(f.t.id.Vertex) {
+		if lost := lostByEdge[ek]; lost > 0 {
+			ex.recordLifecycle(obs.KindRingDrain, obs.Lifecycle{
+				Vertex:      f.t.id.Vertex,
+				Task:        f.t.id.String(),
+				Edge:        ek.String(),
+				LostRecords: lost,
+			})
 		}
 	}
 	if stopping {
@@ -1156,6 +1175,7 @@ func (ex *execution) adjustTick() {
 	// and before recording so the audit event carries the drift flags.
 	drift := ex.cfg.Telemetry.ObserveInterval(time.Since(ex.start).Seconds(), summary, decision, par)
 	ex.scrapeShardGauges()
+	ex.scrapeDataplane()
 	ex.observeSLOs()
 	if decision == nil {
 		return

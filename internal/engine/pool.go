@@ -37,6 +37,19 @@ type batchPool struct {
 type poolShard struct {
 	mu   sync.Mutex
 	free [][]Record
+	// hits/misses/puts count get() outcomes and returns; guarded by mu
+	// (the counters piggyback on the lock every caller already takes,
+	// so instrumentation adds no synchronization).
+	hits   int64
+	misses int64
+	puts   int64
+}
+
+// poolShardStats is one shard's sampled counters.
+type poolShardStats struct {
+	Hits   int64
+	Misses int64
+	Puts   int64
 }
 
 // poolShards is a power of two so hint masking is cheap.
@@ -55,14 +68,29 @@ func (p *batchPool) get(hint int) []Record {
 	s.mu.Lock()
 	n := len(s.free)
 	if n == 0 {
+		s.misses++
 		s.mu.Unlock()
 		return nil
 	}
 	b := s.free[n-1]
 	s.free[n-1] = nil
 	s.free = s.free[:n-1]
+	s.hits++
 	s.mu.Unlock()
 	return b
+}
+
+// stats snapshots every shard's counters (sampler path; takes each
+// shard lock briefly).
+func (p *batchPool) stats() [poolShards]poolShardStats {
+	var out [poolShards]poolShardStats
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		out[i] = poolShardStats{Hits: s.hits, Misses: s.misses, Puts: s.puts}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // put returns a slice whose records have been fully consumed. Records
@@ -80,5 +108,6 @@ func (p *batchPool) put(hint int, b []Record) {
 	if len(s.free) < maxPooledPerShard {
 		s.free = append(s.free, b[:0])
 	}
+	s.puts++
 	s.mu.Unlock()
 }

@@ -97,6 +97,14 @@ type task struct {
 	// busyNs integrates UDF time for utilization reporting.
 	busyNs atomic.Int64
 
+	// parks counts consumer park transitions (entered blocked state);
+	// wakes counts producer pokes delivered to a parked consumer. Both
+	// feed the data-plane sampler and sit off the per-record path: a
+	// park costs idleSpins empty scans first, a wake only fires on the
+	// parked transition.
+	parks atomic.Int64
+	wakes atomic.Int64
+
 	// poolHint spreads this task's batchPool traffic across pool shards.
 	poolHint int
 
@@ -155,6 +163,12 @@ type emitter struct {
 	// is this shard's offset authority and replay buffer — each shard
 	// owns a disjoint offset range because each owns a distinct log.
 	srcLog *sourceLog
+	// parks/wakes mirror the task-level counters for source-shard lanes
+	// (worker emitters never park themselves; their wakes land here when
+	// the wheel pokes the shared task channel).
+	parks atomic.Int64
+	wakes atomic.Int64
+
 	// barrierReq asks the shard to inject the barrier with that id
 	// (master-written, shard-goroutine-consumed).
 	barrierReq    atomic.Int64
@@ -302,6 +316,7 @@ func (t *task) ringsNonEmpty() bool {
 // wake pokes a parked consumer (any goroutine).
 func (t *task) wake() {
 	if t.parked.Load() {
+		t.wakes.Add(1)
 		select {
 		case t.wakeCh <- struct{}{}:
 		default:
@@ -313,6 +328,7 @@ func (t *task) wake() {
 // barrier/replay requests). For worker emitters this is the task wake.
 func (e *emitter) wake() {
 	if e.parked.Load() {
+		e.wakes.Add(1)
 		select {
 		case e.wakeCh <- struct{}{}:
 		default:
@@ -792,6 +808,7 @@ func (t *task) run() {
 			spins = 0
 			continue
 		}
+		t.parks.Add(1)
 		resetTimer(parkTimer, t.parkTimeout())
 		onTimer := false
 		select {
@@ -975,6 +992,7 @@ func (e *emitter) park(timer *time.Timer, d time.Duration) {
 		e.parked.Store(false)
 		return
 	}
+	e.parks.Add(1)
 	resetTimer(timer, d)
 	select {
 	case <-timer.C:

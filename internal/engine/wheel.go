@@ -38,6 +38,15 @@ type flushWheel struct {
 	// an idle topology).
 	fires atomic.Int64
 
+	// parkedNs accumulates time the wheel goroutine spent blocked on
+	// notify with nothing armed; parkedSince holds the start of the
+	// in-progress park (0 while ticking). Both are written only by the
+	// wheel goroutine and read by the data-plane sampler, which adds the
+	// in-progress park so the parked fraction stays honest across an
+	// interval the wheel slept through entirely.
+	parkedNs    atomic.Int64
+	parkedSince atomic.Int64
+
 	notify chan struct{}
 	quit   chan struct{}
 }
@@ -89,11 +98,14 @@ func (w *flushWheel) run() {
 	}
 	for {
 		if w.armed.Load() == 0 {
+			w.parkedSince.Store(time.Now().UnixNano())
 			select {
 			case <-w.notify:
 			case <-w.quit:
 				return
 			}
+			w.parkedNs.Add(time.Now().UnixNano() - w.parkedSince.Load())
+			w.parkedSince.Store(0)
 		}
 		timer.Reset(w.res)
 		select {
@@ -132,6 +144,25 @@ func (w *flushWheel) advance(nowNs int64) {
 		s.entries = kept
 		s.mu.Unlock()
 	}
+}
+
+// wheelStats is the sampler's snapshot of the wheel's counters. The
+// parked accumulator includes the park in progress (if any) up to
+// nowNs; a wake racing the two loads can double-count that park by at
+// most one sampling interval, which is noise at gauge granularity.
+type wheelStats struct {
+	fires    int64
+	armed    int64
+	parkedNs int64
+}
+
+// stats samples the wheel counters; callable from any goroutine.
+func (w *flushWheel) stats(nowNs int64) wheelStats {
+	parked := w.parkedNs.Load()
+	if since := w.parkedSince.Load(); since != 0 && nowNs > since {
+		parked += nowNs - since
+	}
+	return wheelStats{fires: w.fires.Load(), armed: w.armed.Load(), parkedNs: parked}
 }
 
 // fire delivers one lapsed entry: clear the emitter's armed marker,

@@ -121,6 +121,14 @@ const dashHTML = `<!DOCTYPE html>
     <th>violations</th><th>status</th></tr></thead>
   <tbody></tbody>
 </table>
+<h1 style="margin-top:20px">data plane / backpressure</h1>
+<table id="dataplane" style="display:none">
+  <thead><tr><th>edge</th><th>state</th><th>culprit</th>
+    <th>occupancy</th><th>occupancy heat</th><th>stalls/s</th>
+    <th>stall trend</th><th>busy</th></tr></thead>
+  <tbody></tbody>
+</table>
+<div id="dp-empty" class="legend">no data-plane samples yet</div>
 <h1 style="margin-top:20px">telemetry</h1>
 <div id="charts"></div>
 <h1 style="margin-top:20px">prediction residuals</h1>
@@ -247,7 +255,95 @@ function renderSLO(targets) {
   }
 }
 
+// Per-edge data-plane history, accumulated client-side from successive
+// snapshots (the snapshot carries only the latest interval's sample).
+const dpHist = new Map(); // edge -> [{t, occ, stall}]
+
+function dpStateBadge(state) {
+  const colors = {"idle": "#8a93a3", "producer-limited": "#4c9aff",
+                  "consumer-limited": "#f5a623", "ring-saturated": "#e5484d"};
+  const c = colors[state] || "#8a93a3";
+  return '<span style="color:' + c + '">●</span> ' + (state || "idle");
+}
+
+function heatColor(frac) {
+  const f = Math.max(0, Math.min(1, frac));
+  if (f < 0.5) return "rgb(" + Math.round(76 + f * 2 * 169) + "," +
+    Math.round(195 - f * 2 * 29) + ",95)";
+  return "rgb(245," + Math.round(166 - (f - 0.5) * 2 * 94) + "," +
+    Math.round(35 + (f - 0.5) * 2 * 42) + ")";
+}
+
+function drawHeatStrip(canvas, hist) {
+  const dpr = window.devicePixelRatio || 1;
+  const w = 120, h = 12;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  canvas.style.width = w + "px"; canvas.style.height = h + "px";
+  const ctx = canvas.getContext("2d");
+  ctx.scale(dpr, dpr);
+  ctx.fillStyle = "#2a2f3a"; ctx.fillRect(0, 0, w, h);
+  const n = hist.length, cw = w / Math.max(n, 30);
+  hist.forEach((p, i) => {
+    ctx.fillStyle = heatColor(p.occ);
+    ctx.fillRect(w - (n - i) * cw, 0, Math.ceil(cw), h);
+  });
+}
+
+function drawSparkline(canvas, hist) {
+  const dpr = window.devicePixelRatio || 1;
+  const w = 120, h = 24, pad = 2;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  canvas.style.width = w + "px"; canvas.style.height = h + "px";
+  const ctx = canvas.getContext("2d");
+  ctx.scale(dpr, dpr);
+  ctx.clearRect(0, 0, w, h);
+  let max = 0;
+  for (const p of hist) max = Math.max(max, p.stall);
+  if (max === 0) max = 1;
+  const n = hist.length;
+  ctx.strokeStyle = "#e5484d"; ctx.lineWidth = 1.2;
+  ctx.beginPath();
+  hist.forEach((p, i) => {
+    const x = pad + i / Math.max(n - 1, 1) * (w - 2 * pad);
+    const y = h - pad - p.stall / max * (h - 2 * pad);
+    i ? ctx.lineTo(x, y) : ctx.moveTo(x, y);
+  });
+  ctx.stroke();
+}
+
+function renderDataplane(dp) {
+  const table = document.getElementById("dataplane");
+  const empty = document.getElementById("dp-empty");
+  const edges = (dp && dp.edges) || [];
+  if (!edges.length) { table.style.display = "none"; empty.style.display = "block"; return; }
+  table.style.display = "table"; empty.style.display = "none";
+  const t = dp.at || 0;
+  const tbody = table.querySelector("tbody");
+  tbody.innerHTML = "";
+  for (const e of edges) {
+    let h = dpHist.get(e.edge);
+    if (!h) { h = []; dpHist.set(e.edge, h); }
+    if (!h.length || h[h.length - 1].t !== t) {
+      h.push({t: t, occ: e.occupancy_frac || 0, stall: e.stall_rate || 0});
+      if (h.length > 120) h.shift();
+    }
+    const tr = document.createElement("tr");
+    tr.innerHTML = "<td>" + e.edge + "</td><td>" + dpStateBadge(e.state) +
+      "</td><td>" + (e.culprit || "—") + "</td><td>" + e.occupancy + "/" +
+      e.capacity + "</td><td class='dp-heat'></td><td>" + fmt(e.stall_rate) +
+      "</td><td class='dp-spark'></td><td>" + fmt(e.consumer_busy) + "</td>";
+    const heat = document.createElement("canvas");
+    tr.querySelector(".dp-heat").appendChild(heat);
+    const spark = document.createElement("canvas");
+    tr.querySelector(".dp-spark").appendChild(spark);
+    tbody.appendChild(tr);
+    drawHeatStrip(heat, h);
+    drawSparkline(spark, h);
+  }
+}
+
 function render(snap) {
+  renderDataplane(snap.dataplane);
   const groups = new Map();
   const tailByQ = new Map();
   for (const s of snap.series || []) {

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"strconv"
+
+	"nephelix/internal/obs/ts"
+)
+
+// The data-plane X-ray: both runtimes sample their queueing layer once
+// per adjustment interval — ring counters, emitter pacing, flush-wheel
+// and batch-pool state in the engine; the mirrored queue-depth walk in
+// the simulator — into a DataplaneSnapshot. Telemetry.ObserveDataplane
+// classifies each edge's backpressure state, publishes the gauges, and
+// keeps the latest snapshot for /dataplane and the SSE dashboard.
+
+// DataplaneEdge is one job edge's sampled data-plane state, aggregated
+// over every producer-lane ring feeding the edge. Counter fields
+// (Pushes, PushFails, Pops) are cumulative batch counts; the *Rate and
+// *Frac fields are the sampler's per-interval derivations the
+// backpressure monitor classifies from, so the engine and the
+// simulator feed the same heuristic.
+type DataplaneEdge struct {
+	Edge     string `json:"edge"`
+	Producer string `json:"producer"`
+	Consumer string `json:"consumer"`
+	// Rings is the number of producer-lane rings sampled (engine) or
+	// channels mirrored (sim) for this edge.
+	Rings int `json:"rings"`
+	// Occupancy and Capacity sum current depth and capacity across the
+	// edge's rings; HighWater is the worst single-ring high-water mark.
+	Occupancy int `json:"occupancy"`
+	Capacity  int `json:"capacity"`
+	HighWater int `json:"high_water"`
+
+	Pushes    uint64 `json:"pushes"`
+	PushFails uint64 `json:"push_fails"`
+	Pops      uint64 `json:"pops"`
+
+	// Interval derivations (per second / fractions in [0,1]).
+	PushRate  float64 `json:"push_rate"`
+	PopRate   float64 `json:"pop_rate"`
+	StallRate float64 `json:"stall_rate"`
+	// StallFrac is failed pushes over attempted pushes this interval.
+	StallFrac float64 `json:"stall_frac"`
+	// OccupancyFrac is Occupancy/Capacity at sample time.
+	OccupancyFrac float64 `json:"occupancy_frac"`
+	// ConsumerBusy is the consumer vertex's busy fraction this interval.
+	ConsumerBusy float64 `json:"consumer_busy"`
+	// RingWaitSeconds estimates the time a batch spends queued via
+	// Little's law (occupancy / pop rate); 0 when nothing popped.
+	RingWaitSeconds float64 `json:"ring_wait_seconds"`
+
+	// State and Culprit are filled by the BackpressureMonitor.
+	State   string `json:"state,omitempty"`
+	Culprit string `json:"culprit,omitempty"`
+}
+
+// DataplaneShard is one source emitter lane's pacing state.
+type DataplaneShard struct {
+	Vertex  string `json:"vertex"`
+	Task    string `json:"task"`
+	Shard   int    `json:"shard"`
+	Emitted int64  `json:"emitted"`
+	// ActualRate is records/s emitted this interval; IntendedRate the
+	// schedule's per-shard share. LagFrac is (intended−actual)/intended
+	// clamped to [0,1] — a persistently lagging shard cannot keep up
+	// with its pacing target (downstream backpressure or CPU steal).
+	ActualRate   float64 `json:"actual_rate"`
+	IntendedRate float64 `json:"intended_rate"`
+	LagFrac      float64 `json:"lag_frac"`
+	Parks        int64   `json:"parks"`
+	Wakes        int64   `json:"wakes"`
+}
+
+// DataplaneWheel is the flush-timer wheel's sampled state.
+type DataplaneWheel struct {
+	Fires int64 `json:"fires"`
+	Armed int64 `json:"armed"`
+	// ParkedFrac is the fraction of the last interval the wheel
+	// goroutine spent parked (nothing armed).
+	ParkedFrac float64 `json:"parked_frac"`
+}
+
+// DataplanePoolShard is one batch-pool shard's hit/miss state.
+type DataplanePoolShard struct {
+	Shard  int   `json:"shard"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+	// HitRate is hits/(hits+misses) over the interval (1 when idle).
+	HitRate float64 `json:"hit_rate"`
+}
+
+// DataplaneSnapshot is one interval's full data-plane sample — the
+// /dataplane payload and the dashboard's backpressure panel input.
+type DataplaneSnapshot struct {
+	// At is seconds since the run started (virtual time in the sim).
+	At float64 `json:"at"`
+	// Layer is "engine" or "sim".
+	Layer string `json:"layer"`
+	// IntervalSeconds is the sampling interval the rates were derived
+	// over.
+	IntervalSeconds float64 `json:"interval_seconds"`
+
+	Edges  []DataplaneEdge      `json:"edges"`
+	Shards []DataplaneShard     `json:"shards,omitempty"`
+	Wheel  *DataplaneWheel      `json:"wheel,omitempty"`
+	Pool   []DataplanePoolShard `json:"pool,omitempty"`
+
+	// Backpressure is the monitor's per-edge classification, sorted by
+	// edge name.
+	Backpressure []BackpressureStatus `json:"backpressure"`
+}
+
+// dataplaneEdgeSeries caches one edge's gauge handles.
+type dataplaneEdgeSeries struct {
+	occupancy *ts.Series
+	occFrac   *ts.Series
+	highWater *ts.Series
+	pushRate  *ts.Series
+	stallRate *ts.Series
+	stallFrac *ts.Series
+	ringWait  *ts.Series
+	bpState   *ts.Series
+}
+
+// dataplaneShardSeries caches one emitter lane's gauge handles.
+type dataplaneShardSeries struct {
+	lag   *ts.Series
+	parks *ts.Series
+}
+
+// backpressureStateValue maps a classification onto the numeric gauge
+// nephelix_dataplane_backpressure_state (0 idle, 1 producer-limited,
+// 2 consumer-limited, 3 ring-saturated).
+func backpressureStateValue(s BackpressureState) float64 {
+	switch s {
+	case BackpressureProducerLimited:
+		return 1
+	case BackpressureConsumerLimited:
+		return 2
+	case BackpressureRingSaturated:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// ObserveDataplane folds one interval's data-plane sample: classify
+// every edge's backpressure state (emitting onset/cleared events on
+// rec, which may be nil), publish the gauges, cross-check measured ring
+// wait against the residual monitor's last Kingman predictions, and
+// retain the snapshot for /dataplane. Nil-safe.
+func (t *Telemetry) ObserveDataplane(snap DataplaneSnapshot, rec *Recorder) {
+	if t == nil {
+		return
+	}
+	statuses := t.bp.Observe(snap.At, snap.Edges, rec)
+	byEdge := make(map[string]BackpressureStatus, len(statuses))
+	for _, st := range statuses {
+		byEdge[st.Edge] = st
+	}
+	for i := range snap.Edges {
+		if st, ok := byEdge[snap.Edges[i].Edge]; ok {
+			snap.Edges[i].State = string(st.State)
+			snap.Edges[i].Culprit = st.Culprit
+		}
+	}
+	snap.Backpressure = statuses
+
+	now := snap.At
+	t.dpMu.Lock()
+	for i := range snap.Edges {
+		de := &snap.Edges[i]
+		es := t.dpEdges[de.Edge]
+		if es == nil {
+			labels := map[string]string{"edge": de.Edge}
+			es = &dataplaneEdgeSeries{
+				occupancy: t.store.Gauge("nephelix_dataplane_ring_occupancy", labels),
+				occFrac:   t.store.Gauge("nephelix_dataplane_ring_occupancy_frac", labels),
+				highWater: t.store.Gauge("nephelix_dataplane_ring_high_water", labels),
+				pushRate:  t.store.Gauge("nephelix_dataplane_ring_push_rate", labels),
+				stallRate: t.store.Gauge("nephelix_dataplane_ring_stall_rate", labels),
+				stallFrac: t.store.Gauge("nephelix_dataplane_ring_stall_frac", labels),
+				ringWait:  t.store.Gauge("nephelix_dataplane_ring_wait_seconds", labels),
+				bpState:   t.store.Gauge("nephelix_dataplane_backpressure_state", labels),
+			}
+			t.dpEdges[de.Edge] = es
+		}
+		es.occupancy.Set(now, float64(de.Occupancy))
+		es.occFrac.Set(now, de.OccupancyFrac)
+		es.highWater.Set(now, float64(de.HighWater))
+		es.pushRate.Set(now, de.PushRate)
+		es.stallRate.Set(now, de.StallRate)
+		es.stallFrac.Set(now, de.StallFrac)
+		es.ringWait.Set(now, de.RingWaitSeconds)
+		es.bpState.Set(now, backpressureStateValue(BackpressureState(de.State)))
+	}
+	for _, sh := range snap.Shards {
+		key := sh.Task + "/" + strconv.Itoa(sh.Shard)
+		ss := t.dpShards[key]
+		if ss == nil {
+			labels := map[string]string{
+				"vertex": sh.Vertex, "task": sh.Task, "shard": strconv.Itoa(sh.Shard),
+			}
+			ss = &dataplaneShardSeries{
+				lag:   t.store.Gauge("nephelix_dataplane_shard_lag_frac", labels),
+				parks: t.store.Gauge("nephelix_dataplane_shard_parks_total", labels),
+			}
+			t.dpShards[key] = ss
+		}
+		ss.lag.Set(now, sh.LagFrac)
+		ss.parks.Set(now, float64(sh.Parks))
+	}
+	if snap.Wheel != nil {
+		if t.dpWheelFires == nil {
+			t.dpWheelFires = t.store.Gauge("nephelix_dataplane_wheel_fires_total", nil)
+			t.dpWheelArmed = t.store.Gauge("nephelix_dataplane_wheel_armed", nil)
+			t.dpWheelParked = t.store.Gauge("nephelix_dataplane_wheel_parked_frac", nil)
+		}
+		t.dpWheelFires.Set(now, float64(snap.Wheel.Fires))
+		t.dpWheelArmed.Set(now, float64(snap.Wheel.Armed))
+		t.dpWheelParked.Set(now, snap.Wheel.ParkedFrac)
+	}
+	for _, ps := range snap.Pool {
+		s := t.dpPool[ps.Shard]
+		if s == nil {
+			s = t.store.Gauge("nephelix_dataplane_pool_hit_rate",
+				map[string]string{"shard": strconv.Itoa(ps.Shard)})
+			t.dpPool[ps.Shard] = s
+		}
+		s.Set(now, ps.HitRate)
+	}
+	t.dpMu.Unlock()
+
+	t.crossCheckWaits(now, snap.Edges)
+
+	t.dpMu.Lock()
+	t.dpLast = &snap
+	t.dpMu.Unlock()
+}
+
+// crossCheckWaits compares the data-plane-measured ring wait per edge
+// against the Kingman queue-wait prediction the residual monitor last
+// scored for the edge's consumer vertex, publishing the ratio as a
+// gauge. A ratio persistently far from 1 means the model and the rings
+// disagree about where time is spent — the same drift the residual
+// monitor tracks, but measured at the ring rather than the QoS layer.
+func (t *Telemetry) crossCheckWaits(now float64, edges []DataplaneEdge) {
+	stats := t.res.Snapshot()
+	if len(stats) == 0 {
+		return
+	}
+	predicted := make(map[string]float64, len(stats))
+	for _, rs := range stats {
+		if rs.LastPredicted > 0 {
+			predicted[rs.Vertex] = rs.LastPredicted
+		}
+	}
+	t.dpMu.Lock()
+	defer t.dpMu.Unlock()
+	for i := range edges {
+		de := &edges[i]
+		p, ok := predicted[de.Consumer]
+		if !ok || de.RingWaitSeconds <= 0 {
+			continue
+		}
+		s := t.dpWaitRatio[de.Edge]
+		if s == nil {
+			s = t.store.Gauge("nephelix_dataplane_wait_vs_predicted_ratio",
+				map[string]string{"edge": de.Edge})
+			t.dpWaitRatio[de.Edge] = s
+		}
+		s.Set(now, de.RingWaitSeconds/p)
+	}
+}
+
+// Dataplane returns the most recent snapshot (nil before the first
+// ObserveDataplane or when telemetry is disabled).
+func (t *Telemetry) Dataplane() *DataplaneSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.dpMu.Lock()
+	defer t.dpMu.Unlock()
+	return t.dpLast
+}
+
+// Backpressure exposes the monitor (nil when disabled) so experiments
+// can assert on episode counts.
+func (t *Telemetry) Backpressure() *BackpressureMonitor {
+	if t == nil {
+		return nil
+	}
+	return t.bp
+}
+
+// dpMuInit initializes the dataplane handle caches (NewTelemetry).
+func (t *Telemetry) dpInit() {
+	t.bp = NewBackpressureMonitor(BackpressureConfig{})
+	t.dpEdges = make(map[string]*dataplaneEdgeSeries)
+	t.dpShards = make(map[string]*dataplaneShardSeries)
+	t.dpPool = make(map[int]*ts.Series)
+	t.dpWaitRatio = make(map[string]*ts.Series)
+}

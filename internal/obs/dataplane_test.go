@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBackpressureClassify pins the attribution heuristic: stall rate or
+// high occupancy means backpressure, the consumer's busy fraction
+// separates consumer-limited from ring-saturated, and quiet edges are
+// idle rather than producer-limited.
+func TestBackpressureClassify(t *testing.T) {
+	m := NewBackpressureMonitor(BackpressureConfig{})
+	cases := []struct {
+		name    string
+		edge    DataplaneEdge
+		state   BackpressureState
+		culprit string
+	}{
+		{"busy consumer, stalls", DataplaneEdge{
+			Edge: "a->b", Consumer: "b", Pushes: 100, PushRate: 100,
+			StallFrac: 0.2, ConsumerBusy: 0.9}, BackpressureConsumerLimited, "b"},
+		{"idle consumer, full ring", DataplaneEdge{
+			Edge: "a->b", Consumer: "b", Pushes: 100, PushRate: 100,
+			OccupancyFrac: 0.9, ConsumerBusy: 0.1}, BackpressureRingSaturated, "b"},
+		{"flowing cleanly", DataplaneEdge{
+			Edge: "a->b", Producer: "a", Pushes: 100, PushRate: 100,
+			StallFrac: 0.0, OccupancyFrac: 0.1}, BackpressureProducerLimited, "a"},
+		{"no traffic", DataplaneEdge{Edge: "a->b"}, BackpressureIdle, ""},
+	}
+	for _, c := range cases {
+		state, culprit := m.classify(c.edge)
+		if state != c.state || culprit != c.culprit {
+			t.Errorf("%s: got (%s, %q), want (%s, %q)", c.name, state, culprit, c.state, c.culprit)
+		}
+	}
+}
+
+// TestBackpressureTransitions: an onset is recorded once on entering a
+// backpressured state, switching between the two backpressured states
+// continues the episode, and leaving it records one cleared event with
+// the episode duration.
+func TestBackpressureTransitions(t *testing.T) {
+	m := NewBackpressureMonitor(BackpressureConfig{})
+	rec := NewRecorder(16)
+	hot := DataplaneEdge{Edge: "a->b", Consumer: "b", Pushes: 1, PushRate: 100, StallFrac: 0.5, ConsumerBusy: 0.9}
+	saturated := hot
+	saturated.ConsumerBusy = 0.1
+	calm := DataplaneEdge{Edge: "a->b", Producer: "a", Pushes: 1, PushRate: 100}
+
+	m.Observe(1, []DataplaneEdge{hot}, rec)
+	m.Observe(2, []DataplaneEdge{saturated}, rec) // same episode, new flavor
+	st := m.Observe(3, []DataplaneEdge{calm}, rec)
+
+	if st[0].Onsets != 1 {
+		t.Errorf("onsets = %d, want 1", st[0].Onsets)
+	}
+	if got := st[0].Intervals[string(BackpressureConsumerLimited)]; got != 1 {
+		t.Errorf("consumer-limited intervals = %d, want 1", got)
+	}
+	if got := st[0].Intervals[string(BackpressureRingSaturated)]; got != 1 {
+		t.Errorf("ring-saturated intervals = %d, want 1", got)
+	}
+	var kinds []string
+	var cleared *Event
+	for _, ev := range rec.Events() {
+		kinds = append(kinds, ev.Kind)
+		if ev.Kind == KindBackpressureCleared {
+			ev := ev
+			cleared = &ev
+		}
+	}
+	want := []string{KindBackpressureOnset, KindBackpressureCleared}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("event kinds = %v, want %v", kinds, want)
+	}
+	if cleared.Lifecycle.DurationSeconds != 2 {
+		t.Errorf("episode duration = %v, want 2", cleared.Lifecycle.DurationSeconds)
+	}
+	if cleared.Lifecycle.Vertex != "b" {
+		t.Errorf("cleared culprit = %q, want b", cleared.Lifecycle.Vertex)
+	}
+}
+
+// TestObserveDataplane: feeding a snapshot classifies its edges, caches
+// it for /dataplane and the SSE stream, and publishes the gauge series.
+func TestObserveDataplane(t *testing.T) {
+	tel := NewTelemetry(64)
+	tel.ObserveDataplane(DataplaneSnapshot{
+		At: 5, Layer: "engine", IntervalSeconds: 1,
+		Edges: []DataplaneEdge{{
+			Edge: "src->work", Producer: "src", Consumer: "work",
+			Rings: 2, Occupancy: 12, Capacity: 16, HighWater: 8,
+			Pushes: 1000, PushFails: 200, Pops: 988,
+			PushRate: 100, PopRate: 99, StallRate: 20, StallFrac: 0.17,
+			OccupancyFrac: 0.75, ConsumerBusy: 0.95,
+		}},
+		Wheel: &DataplaneWheel{Fires: 7, Armed: 2, ParkedFrac: 0.5},
+		Pool:  []DataplanePoolShard{{Shard: 0, Hits: 10, Misses: 2, HitRate: 10.0 / 12}},
+	}, nil)
+
+	dp := tel.Dataplane()
+	if dp == nil || len(dp.Edges) != 1 {
+		t.Fatalf("Dataplane() = %+v", dp)
+	}
+	if dp.Edges[0].State != string(BackpressureConsumerLimited) || dp.Edges[0].Culprit != "work" {
+		t.Errorf("edge classified %s/%s, want consumer-limited/work", dp.Edges[0].State, dp.Edges[0].Culprit)
+	}
+	if len(dp.Backpressure) != 1 || dp.Backpressure[0].Onsets != 1 {
+		t.Errorf("backpressure statuses: %+v", dp.Backpressure)
+	}
+
+	var b strings.Builder
+	writeMetrics(&b, tel.ExpositionMetrics())
+	body := b.String()
+	for _, want := range []string{
+		`nephelix_dataplane_ring_occupancy{edge="src->work"} 12`,
+		`nephelix_dataplane_backpressure_state{edge="src->work"} 2`,
+		"nephelix_dataplane_wheel_parked_frac 0.5",
+		`nephelix_dataplane_pool_hit_rate{shard="0"}`,
+		"# HELP nephelix_dataplane_ring_occupancy Summed SPSC ring occupancy",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestObsDataplaneEndpoint: /dataplane serves the latest snapshot as
+// JSON, degrading to an empty (never null) payload before the first
+// sample or without telemetry; the /timeseries snapshot always carries
+// the dataplane key so dashboard clients can probe for it.
+func TestObsDataplaneEndpoint(t *testing.T) {
+	tel := NewTelemetry(64)
+	srv := httptest.NewServer(NewHandler(ServerConfig{Telemetry: tel}))
+	defer srv.Close()
+
+	get := func() map[string]json.RawMessage {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/dataplane")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Fatalf("content type %q", ct)
+		}
+		var raw map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	if raw := get(); string(raw["edges"]) != "[]" {
+		t.Errorf("pre-sample edges = %s, want []", raw["edges"])
+	}
+
+	tel.ObserveDataplane(DataplaneSnapshot{
+		At: 1, Layer: "sim", IntervalSeconds: 1,
+		Edges: []DataplaneEdge{{Edge: "a->b", Producer: "a", Consumer: "b", Pushes: 1, PushRate: 1}},
+	}, nil)
+	raw := get()
+	if string(raw["layer"]) != `"sim"` {
+		t.Errorf("layer = %s, want sim", raw["layer"])
+	}
+	var edges []DataplaneEdge
+	if err := json.Unmarshal(raw["edges"], &edges); err != nil || len(edges) != 1 {
+		t.Fatalf("edges = %s", raw["edges"])
+	}
+
+	// The SSE/timeseries snapshot must always expose the key.
+	resp, err := http.Get(srv.URL + "/timeseries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snapRaw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&snapRaw); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snapRaw["dataplane"]; !ok {
+		t.Error("/timeseries snapshot lacks the dataplane key")
+	}
+}
+
+// TestSourceShardEmittedExposition: the per-shard source gauge renders
+// with registry HELP/TYPE and its full vertex/task/shard label set.
+func TestSourceShardEmittedExposition(t *testing.T) {
+	tel := NewTelemetry(64)
+	tel.Store().Gauge("nephelix_source_shard_emitted", map[string]string{
+		"vertex": "src", "task": "src[0]", "shard": "1",
+	}).Set(1, 4096)
+
+	var b strings.Builder
+	writeMetrics(&b, tel.ExpositionMetrics())
+	body := b.String()
+	for _, want := range []string{
+		"# HELP nephelix_source_shard_emitted Records emitted by one source emitter shard (cumulative, labeled vertex/task/shard).",
+		"# TYPE nephelix_source_shard_emitted gauge",
+		`nephelix_source_shard_emitted{shard="1",task="src[0]",vertex="src"} 4096`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+}

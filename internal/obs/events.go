@@ -36,6 +36,15 @@ const (
 	// from met to violated: the tracked percentile estimate exceeded the
 	// constraint's bound. Recorded once per transition, not per interval.
 	KindSLOViolation = "slo_violation"
+	// Backpressure episodes (data-plane monitor): onset when an edge
+	// enters a consumer-limited or ring-saturated interval, cleared when
+	// it leaves. The Lifecycle payload carries the edge, the attributed
+	// culprit vertex and the classification inputs.
+	KindBackpressureOnset   = "backpressure_onset"
+	KindBackpressureCleared = "backpressure_cleared"
+	// KindRingDrain audits the master reclaiming a dead task's input
+	// rings: one event per inbound edge that lost queued records.
+	KindRingDrain = "ring_drain"
 )
 
 // Event is one entry of the flight recorder. Time is seconds since the
@@ -171,6 +180,14 @@ type Lifecycle struct {
 	EstimateSeconds float64 `json:"estimate_seconds,omitempty"`
 	BoundSeconds    float64 `json:"bound_seconds,omitempty"`
 	BurnRate        float64 `json:"burn_rate,omitempty"`
+	// Data-plane fields (backpressure_* and ring_drain events): the job
+	// edge concerned, the backpressure classification, and the sampled
+	// inputs it was derived from. The attributed culprit vertex travels
+	// in Vertex; ring_drain lost counts in LostRecords.
+	Edge          string  `json:"edge,omitempty"`
+	State         string  `json:"state,omitempty"`
+	OccupancyFrac float64 `json:"occupancy_frac,omitempty"`
+	StallFrac     float64 `json:"stall_frac,omitempty"`
 }
 
 // jsonSafe clamps non-finite floats so event payloads always marshal:

@@ -1,0 +1,66 @@
+package obs
+
+// metricHelp is the HELP-text registry for store-backed series: the
+// ts.Store tracks only values, so the exposition layer fills # HELP
+// lines from this name→text map (ExpositionMetrics). Built-in metrics
+// constructed directly in collectMetrics carry their Help inline.
+// Unregistered names render without a HELP line, which the exposition
+// format permits.
+var metricHelp = map[string]string{
+	// Per-vertex / per-edge QoS scrape.
+	"nephelix_vertex_parallelism":           "Live task count per vertex.",
+	"nephelix_vertex_utilization":           "Mean task utilization per vertex over the last interval.",
+	"nephelix_vertex_service_mean_seconds":  "Mean UDF service time per vertex.",
+	"nephelix_vertex_arrival_rate":          "Per-task record arrival rate per vertex.",
+	"nephelix_vertex_task_latency_seconds":  "Mean task latency (read-write) per vertex.",
+	"nephelix_vertex_fresh_tasks":           "Tasks with fresh QoS reports per vertex.",
+	"nephelix_edge_queue_wait_seconds":      "Measured mean queue wait per edge (QoS layer).",
+	"nephelix_edge_channel_latency_seconds": "Mean channel latency per edge.",
+	"nephelix_edge_batch_latency_seconds":   "Mean output batch latency per edge.",
+
+	// Sharded source emitters.
+	"nephelix_source_shard_emitted": "Records emitted by one source emitter shard (cumulative, labeled vertex/task/shard).",
+
+	// Data-plane X-ray: ring, emitter-lane, wheel and pool samples.
+	"nephelix_dataplane_ring_occupancy":          "Summed SPSC ring occupancy (batches) per edge at sample time.",
+	"nephelix_dataplane_ring_occupancy_frac":     "Ring occupancy over capacity per edge, 0-1.",
+	"nephelix_dataplane_ring_high_water":         "Worst single-ring occupancy high-water mark per edge.",
+	"nephelix_dataplane_ring_push_rate":          "Successful ring pushes per second per edge (batches).",
+	"nephelix_dataplane_ring_stall_rate":         "Full-ring push rejections per second per edge.",
+	"nephelix_dataplane_ring_stall_frac":         "Failed pushes over attempted pushes per edge this interval.",
+	"nephelix_dataplane_ring_wait_seconds":       "Estimated batch queueing time per edge (Little's law).",
+	"nephelix_dataplane_backpressure_state":      "Backpressure classification per edge: 0 idle, 1 producer-limited, 2 consumer-limited, 3 ring-saturated.",
+	"nephelix_dataplane_shard_lag_frac":          "Source shard pacing lag: (intended-actual)/intended emit rate, 0-1.",
+	"nephelix_dataplane_shard_parks_total":       "Cumulative park transitions of one source emitter shard.",
+	"nephelix_dataplane_wheel_fires_total":       "Cumulative flush-timer-wheel fires.",
+	"nephelix_dataplane_wheel_armed":             "Flush-wheel entries currently armed.",
+	"nephelix_dataplane_wheel_parked_frac":       "Fraction of the last interval the flush wheel spent parked.",
+	"nephelix_dataplane_pool_hit_rate":           "Batch-pool hit rate per pool shard over the interval.",
+	"nephelix_dataplane_wait_vs_predicted_ratio": "Measured ring wait over the Kingman-predicted queue wait of the consuming vertex.",
+
+	// Model-drift telemetry.
+	"nephelix_model_residual_mean_seconds":   "Mean prediction residual (measured-predicted queue wait).",
+	"nephelix_model_residual_stddev_seconds": "Stddev of the prediction residual.",
+	"nephelix_model_rel_err_mean":            "Mean absolute relative prediction error.",
+	"nephelix_model_sign_bias":               "Prediction sign bias (over-under)/(over+under).",
+	"nephelix_model_drift":                   "1 when the cell's predictions have drifted, else 0.",
+
+	// SLO accounting.
+	"nephelix_slo_error_budget_remaining": "Remaining error budget per constraint, 0-1.",
+	"nephelix_slo_burn_rate":              "Error-budget burn rate over the sliding window.",
+	"nephelix_slo_estimate_seconds":       "Current tracked-quantile latency estimate per constraint.",
+	"nephelix_slo_bound_seconds":          "Constraint latency bound.",
+	"nephelix_slo_violations_total":       "Met-to-violated SLO transitions per constraint.",
+
+	// Scaler and checkpoint counters.
+	"nephelix_adjust_intervals_total":   "Adjustment intervals observed.",
+	"nephelix_scaler_decisions_total":   "Elastic-scaler decisions taken.",
+	"nephelix_scaler_scale_ups_total":   "Scale-up actions applied.",
+	"nephelix_scaler_scale_downs_total": "Scale-down actions applied.",
+	"nephelix_scaler_holds_total":       "Scaling intentions held by gating.",
+	"nephelix_scaler_infeasible_total":  "Constraints found infeasible.",
+}
+
+// MetricHelp returns the registered HELP text for a metric name, or ""
+// when the name has no registered help.
+func MetricHelp(name string) string { return metricHelp[name] }

@@ -93,6 +93,16 @@ func NewHandler(cfg ServerConfig) http.Handler {
 			Targets []SLOStatus `json:"targets"`
 		}{Targets: cfg.Telemetry.SLOSnapshot()})
 	})
+	mux.HandleFunc("/dataplane", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snap := cfg.Telemetry.Dataplane()
+		if snap == nil {
+			// Pre-first-interval (or disabled telemetry): an empty, valid
+			// payload rather than null, so scrapers can always decode it.
+			snap = &DataplaneSnapshot{Edges: []DataplaneEdge{}, Backpressure: []BackpressureStatus{}}
+		}
+		_ = json.NewEncoder(w).Encode(snap)
+	})
 	mux.HandleFunc("/dash", serveDashPage)
 	mux.HandleFunc("/dash/sse", func(w http.ResponseWriter, r *http.Request) {
 		serveDashSSE(w, r, cfg.Telemetry)

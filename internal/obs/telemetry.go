@@ -66,6 +66,20 @@ type Telemetry struct {
 
 	mu       sync.Mutex
 	resHists map[ResidualKey]*ts.Series
+
+	// Data-plane X-ray state: the backpressure monitor, the latest
+	// sampled snapshot (served by /dataplane and the SSE stream), and
+	// the cached gauge handles keyed by edge / lane / pool shard.
+	bp            *BackpressureMonitor
+	dpMu          sync.Mutex
+	dpLast        *DataplaneSnapshot
+	dpEdges       map[string]*dataplaneEdgeSeries
+	dpShards      map[string]*dataplaneShardSeries
+	dpPool        map[int]*ts.Series
+	dpWaitRatio   map[string]*ts.Series
+	dpWheelFires  *ts.Series
+	dpWheelArmed  *ts.Series
+	dpWheelParked *ts.Series
 }
 
 // hopSeries bundles one edge's per-hop latency sketches.
@@ -93,7 +107,7 @@ func NewTelemetry(pointsPerSeries int) *Telemetry {
 		tailGauges[i] = st.Gauge("nephelix_tail_e2e_seconds",
 			map[string]string{"q": quantileLabel(q)})
 	}
-	return &Telemetry{
+	t := &Telemetry{
 		store:      st,
 		res:        NewResidualMonitor(ResidualConfig{}),
 		e2e:        st.Histogram("nephelix_e2e_latency_seconds", nil, ts.LatencyBuckets),
@@ -119,6 +133,8 @@ func NewTelemetry(pointsPerSeries int) *Telemetry {
 		replayed:      st.Counter("nephelix_replayed_records_total", nil),
 		deduped:       st.Counter("nephelix_deduped_records_total", nil),
 	}
+	t.dpInit()
+	return t
 }
 
 // ObserveCheckpoint records one finished barrier checkpoint: its
@@ -465,7 +481,7 @@ func (t *Telemetry) ExpositionMetrics() []Metric {
 	snaps := t.store.Snapshot()
 	out := make([]Metric, 0, len(snaps))
 	for _, sn := range snaps {
-		m := Metric{Name: sn.Name, Labels: sn.Labels, Type: sn.Kind}
+		m := Metric{Name: sn.Name, Help: metricHelp[sn.Name], Labels: sn.Labels, Type: sn.Kind}
 		switch sn.Kind {
 		case "counter":
 			m.Value = sn.Total
@@ -505,6 +521,10 @@ type TimeseriesSnapshot struct {
 	// SLO carries the per-constraint error-budget statuses so the
 	// dashboard's tail panel renders burn rates live.
 	SLO []SLOStatus `json:"slo,omitempty"`
+	// Dataplane is the latest data-plane sample (null until the first
+	// adjustment interval; the key is always present so stream
+	// consumers can rely on it).
+	Dataplane *DataplaneSnapshot `json:"dataplane"`
 }
 
 // Snapshot renders the query (see ts.Store.Query for the parameters)
@@ -523,6 +543,7 @@ func (t *Telemetry) Snapshot(prefix string, since float64, maxPoints int) Timese
 	}
 	snap.Drift = t.res.DriftFlags()
 	snap.SLO = t.slo.Snapshot()
+	snap.Dataplane = t.Dataplane()
 	return snap
 }
 

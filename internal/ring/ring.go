@@ -39,14 +39,42 @@ type SPSC[T any] struct {
 	// drained-then-refilled ring costs one shared load per batch of
 	// pushes instead of one per pop.
 	cachedTail uint64
+	// pops counts successful Pop calls. Consumer-owned: updated with a
+	// plain-load-then-atomic-store (no RMW, so no cross-core cacheline
+	// ping beyond the line the consumer already owns); the sampler's
+	// atomic Load observes a possibly slightly stale but never torn
+	// value. Drain does not count — it is the teardown reclaim path.
+	pops atomic.Uint64
 
 	_    cacheLinePad
 	tail atomic.Uint64 // next slot to push (producer-advanced)
 	// cachedHead mirrors cachedTail for the producer's full check.
 	cachedHead uint64
+	// Producer-owned counters, same single-writer store discipline as
+	// pops. pushFails counts Push attempts rejected because the ring was
+	// full even after refreshing cachedHead — the backpressure stall
+	// signal (closed-ring rejections are teardown noise and not counted).
+	// highWater tracks the maximum occupancy bound observed at publish
+	// time (tail+1-cachedHead; cachedHead ≤ head so this bounds true
+	// occupancy from above, and the full check bounds it by Cap).
+	pushes    atomic.Uint64
+	pushFails atomic.Uint64
+	highWater atomic.Uint64
 
 	_      cacheLinePad
 	closed atomic.Bool
+}
+
+// Stats is a sampled snapshot of the ring's hot-path counters. Each
+// field is read with an individual atomic load — never torn — but the
+// fields are not mutually consistent (the producer may land a push
+// between two loads). Counters are cumulative; samplers diff
+// consecutive snapshots to derive rates.
+type Stats struct {
+	Pushes    uint64 // successful Push calls
+	PushFails uint64 // Push attempts rejected by a full ring (stalls)
+	Pops      uint64 // successful Pop calls
+	HighWater uint64 // max observed occupancy bound, ≤ Cap()
 }
 
 // New builds a ring with capacity ≥ capacity rounded up to a power of
@@ -83,11 +111,16 @@ func (r *SPSC[T]) Push(v T) bool {
 	if tail-r.cachedHead >= uint64(len(r.buf)) {
 		r.cachedHead = r.head.Load()
 		if tail-r.cachedHead >= uint64(len(r.buf)) {
+			r.pushFails.Store(r.pushFails.Load() + 1)
 			return false
 		}
 	}
 	r.buf[tail&r.mask] = v
 	r.tail.Store(tail + 1)
+	r.pushes.Store(r.pushes.Load() + 1)
+	if occ := tail + 1 - r.cachedHead; occ > r.highWater.Load() {
+		r.highWater.Store(occ)
+	}
 	return true
 }
 
@@ -105,7 +138,19 @@ func (r *SPSC[T]) Pop() (T, bool) {
 	v := r.buf[head&r.mask]
 	r.buf[head&r.mask] = zero
 	r.head.Store(head + 1)
+	r.pops.Store(r.pops.Load() + 1)
 	return v, true
+}
+
+// Stats samples the hot-path counters. Callable from any goroutine;
+// see the Stats type for the (non-)consistency contract.
+func (r *SPSC[T]) Stats() Stats {
+	return Stats{
+		Pushes:    r.pushes.Load(),
+		PushFails: r.pushFails.Load(),
+		Pops:      r.pops.Load(),
+		HighWater: r.highWater.Load(),
+	}
 }
 
 // Close marks the ring closed: subsequent Pushes fail. Pop and Drain

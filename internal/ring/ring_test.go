@@ -200,6 +200,105 @@ func TestCloseWhileBlockedDrain(t *testing.T) {
 	}
 }
 
+// TestStatsCounterChurn exercises the sampled counters under -race:
+// one producer spinning against a deliberately tiny ring (so full-ring
+// stalls actually occur), one consumer, and a sampler goroutine reading
+// Stats the whole time. Counters must be monotone across samples (a
+// torn read would violate this), the high-water mark can never exceed
+// capacity, and pops can never outrun pushes.
+func TestStatsCounterChurn(t *testing.T) {
+	const total = 1 << 16
+	r := New[uint64](8)
+	stop := make(chan struct{})
+	var sampleErr atomic.Value // stores the first violation message
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // sampler
+		defer wg.Done()
+		var prev Stats
+		for {
+			st := r.Stats()
+			switch {
+			case st.Pushes < prev.Pushes:
+				sampleErr.CompareAndSwap(nil, "pushes went backwards")
+			case st.PushFails < prev.PushFails:
+				sampleErr.CompareAndSwap(nil, "pushFails went backwards")
+			case st.Pops < prev.Pops:
+				sampleErr.CompareAndSwap(nil, "pops went backwards")
+			case st.HighWater < prev.HighWater:
+				sampleErr.CompareAndSwap(nil, "highWater went backwards")
+			case st.HighWater > uint64(r.Cap()):
+				sampleErr.CompareAndSwap(nil, "highWater exceeds capacity")
+			case st.Pops > st.Pushes:
+				sampleErr.CompareAndSwap(nil, "pops outran pushes")
+			}
+			prev = st
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched()
+			}
+		}
+	}()
+	go func() { // producer
+		defer wg.Done()
+		for i := uint64(0); i < total; {
+			if r.Push(i) {
+				i++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	for popped := 0; popped < total; {
+		if _, ok := r.Pop(); ok {
+			popped++
+		} else {
+			runtime.Gosched()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if msg := sampleErr.Load(); msg != nil {
+		t.Fatalf("sampler observed inconsistent counters: %v", msg)
+	}
+	st := r.Stats()
+	if st.Pushes != total || st.Pops != total {
+		t.Fatalf("final counters pushes=%d pops=%d, want %d each", st.Pushes, st.Pops, total)
+	}
+	if st.HighWater == 0 || st.HighWater > uint64(r.Cap()) {
+		t.Fatalf("highWater = %d, want in [1,%d]", st.HighWater, r.Cap())
+	}
+}
+
+// TestStatsFullRingCountsStalls pins the stall semantics: a rejected
+// push on a full ring counts exactly one pushFail per attempt, and a
+// rejected push on a closed ring counts none (teardown noise).
+func TestStatsFullRingCountsStalls(t *testing.T) {
+	r := New[int](4)
+	for i := 0; i < r.Cap(); i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 3; i++ {
+		if r.Push(99) {
+			t.Fatal("push succeeded on full ring")
+		}
+	}
+	st := r.Stats()
+	if st.PushFails != 3 {
+		t.Fatalf("pushFails = %d, want 3", st.PushFails)
+	}
+	if st.HighWater != uint64(r.Cap()) {
+		t.Fatalf("highWater = %d, want %d", st.HighWater, r.Cap())
+	}
+	r.Close()
+	r.Push(100) // closed rejection must not count as a stall
+	if got := r.Stats().PushFails; got != 3 {
+		t.Fatalf("pushFails after closed push = %d, want 3", got)
+	}
+}
+
 func BenchmarkSPSCPushPop(b *testing.B) {
 	r := New[uint64](1024)
 	done := make(chan struct{})

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"nephelix/internal/model"
+	"nephelix/internal/obs"
+)
+
+// simDataplane holds the scraper's previous cumulative samples so each
+// adjustment tick can derive interval rates, mirroring the engine's
+// dataplaneScraper. Virtual time stands in for wall time; counters are
+// item-grained (the sim moves items, the engine moves batches), which
+// keeps the fractions the backpressure heuristic classifies on
+// comparable across layers.
+type simDataplane struct {
+	lastAt    float64
+	prevEdges map[model.EdgeKey]simEdgeTotals
+	prevBusy  map[string]float64 // per-task cumulative busy seconds, keyed by TaskID string
+}
+
+// simEdgeTotals is one edge's summed cumulative channel counters.
+type simEdgeTotals struct {
+	accepted   uint64
+	stallItems uint64
+	popped     uint64
+}
+
+// scrapeDataplane samples the simulated data plane and feeds telemetry
+// (one snapshot per adjustment interval). No-op without telemetry.
+//
+// Per-edge occupancy is what the channel counters attribute to the
+// consumer's shared input queue plus the items currently stalled at
+// that queue; capacity is QueueCapacityItems times the consumer's task
+// count — an upper bound, since inbound edges of a vertex share the
+// per-task queue. Channels of killed consumers are excluded from the
+// occupancy walk (their residual attributed items never pop).
+func (s *Sim) scrapeDataplane() {
+	if s.cfg.Telemetry == nil {
+		return
+	}
+	if s.dp == nil {
+		s.dp = &simDataplane{
+			prevEdges: make(map[model.EdgeKey]simEdgeTotals),
+			prevBusy:  make(map[string]float64),
+		}
+	}
+	dp := s.dp
+	interval := s.now - dp.lastAt
+	if interval <= 0 {
+		interval = s.cfg.AdjustmentInterval
+	}
+	snap := obs.DataplaneSnapshot{
+		At:              s.now,
+		Layer:           "sim",
+		IntervalSeconds: interval,
+	}
+
+	type edgeAcc struct {
+		rings     int
+		occupancy int64
+		highWater int64
+		totals    simEdgeTotals
+	}
+	edges := make(map[model.EdgeKey]*edgeAcc)
+	for _, ch := range s.channels {
+		ea := edges[ch.edge]
+		if ea == nil {
+			ea = &edgeAcc{}
+			edges[ch.edge] = ea
+		}
+		ea.totals.accepted += uint64(ch.accepted)
+		ea.totals.stallItems += uint64(ch.stallItems)
+		ea.totals.popped += uint64(ch.popped)
+		if ch.closed {
+			continue
+		}
+		ea.rings++
+		if occ := ch.accepted - ch.popped; occ > 0 {
+			ea.occupancy += occ
+		}
+		for _, b := range ch.stalled {
+			ea.occupancy += int64(len(b))
+		}
+		if ch.highWater > ea.highWater {
+			ea.highWater = ch.highWater
+		}
+	}
+
+	// Consumer busy fraction: per-vertex busy-second deltas over the
+	// virtual interval, normalized by task count.
+	busyNow := make(map[string]float64)
+	vertexBusy := make(map[string]float64)
+	for _, name := range s.vertexOrder {
+		v := s.vertices[name]
+		var busyDelta float64
+		n := 0
+		account := func(t *simTask) {
+			n++
+			id := t.id.String()
+			busyNow[id] = t.busyAccum
+			if prev, ok := dp.prevBusy[id]; ok && t.busyAccum >= prev {
+				busyDelta += t.busyAccum - prev
+			} else {
+				busyDelta += t.busyAccum
+			}
+		}
+		for _, t := range v.tasks {
+			account(t)
+		}
+		for t := range v.draining {
+			account(t)
+		}
+		if n > 0 {
+			frac := busyDelta / (interval * float64(n))
+			if frac > 1 {
+				frac = 1
+			}
+			vertexBusy[name] = frac
+		}
+	}
+	dp.prevBusy = busyNow
+
+	for _, e := range s.cfg.Graph.Edges() {
+		ek := e.Key()
+		ea := edges[ek]
+		if ea == nil {
+			continue
+		}
+		prev := dp.prevEdges[ek]
+		dp.prevEdges[ek] = ea.totals
+		capacity := 0
+		if v := s.vertices[ek.Target]; v != nil {
+			capacity = s.cfg.QueueCapacityItems * len(v.tasks)
+		}
+		de := obs.DataplaneEdge{
+			Edge:      ek.String(),
+			Producer:  ek.Source,
+			Consumer:  ek.Target,
+			Rings:     ea.rings,
+			Occupancy: int(ea.occupancy),
+			Capacity:  capacity,
+			HighWater: int(ea.highWater),
+			Pushes:    ea.totals.accepted,
+			PushFails: ea.totals.stallItems,
+			Pops:      ea.totals.popped,
+		}
+		de.PushRate = counterRate(ea.totals.accepted, prev.accepted, interval)
+		de.PopRate = counterRate(ea.totals.popped, prev.popped, interval)
+		de.StallRate = counterRate(ea.totals.stallItems, prev.stallItems, interval)
+		attempts := de.PushRate + de.StallRate
+		if attempts > 0 {
+			de.StallFrac = de.StallRate / attempts
+		}
+		if capacity > 0 {
+			de.OccupancyFrac = float64(ea.occupancy) / float64(capacity)
+		}
+		if de.PopRate > 0 {
+			de.RingWaitSeconds = float64(ea.occupancy) / de.PopRate
+		}
+		de.ConsumerBusy = vertexBusy[ek.Target]
+		snap.Edges = append(snap.Edges, de)
+	}
+	dp.lastAt = s.now
+
+	s.cfg.Telemetry.ObserveDataplane(snap, s.cfg.Recorder)
+}
+
+// counterRate is the clamped per-second delta of a cumulative counter.
+func counterRate(cur, prev uint64, interval float64) float64 {
+	if cur <= prev || interval <= 0 {
+		return 0
+	}
+	return float64(cur-prev) / interval
+}

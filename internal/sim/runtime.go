@@ -36,6 +36,19 @@ type simChannel struct {
 
 	reporter *qos.ChannelReporter
 	mgr      *qos.Manager
+
+	// Data-plane mirror counters (plain int64: the simulator is
+	// single-threaded). accepted and popped count items through the
+	// consumer's queue attributed to this channel; stallItems counts
+	// items that hit a full queue (a stalled batch is re-accepted — and
+	// re-counted as accepted — once space frees). highWater tracks the
+	// worst attributed occupancy. These feed scrapeDataplane so sim
+	// attributions are comparable with the engine's ring counters, in
+	// item units rather than the engine's batch units.
+	accepted   int64
+	popped     int64
+	stallItems int64
+	highWater  int64
 }
 
 // gateBuf is one output buffer within a gate.
@@ -180,6 +193,9 @@ func (t *simTask) pushQueue(it Item) {
 // popQueue removes the oldest queued item.
 func (t *simTask) popQueue() Item {
 	it := t.queue[t.qHead]
+	if it.src != nil {
+		it.src.popped++
+	}
 	t.queue[t.qHead] = Item{} // release Origins references
 	t.qHead++
 	if t.qHead > 1024 && t.qHead*2 >= len(t.queue) {
@@ -451,6 +467,7 @@ func (s *Sim) deliver(ch *simChannel, batch []Item) {
 		}
 		ch.stalled = append(ch.stalled, batch)
 		ch.to.stalledInBatches++
+		ch.stallItems += int64(len(batch))
 		return
 	}
 	s.acceptBatch(ch, batch)
@@ -469,6 +486,10 @@ func (s *Sim) acceptBatch(ch *simChannel, batch []Item) {
 			to.reporter.RecordArrival(s.now)
 		}
 		to.pushQueue(batch[i])
+	}
+	ch.accepted += int64(len(batch))
+	if occ := ch.accepted - ch.popped; occ > ch.highWater {
+		ch.highWater = occ
 	}
 	s.recycleBatch(batch) // items copied into the queue; reuse the array
 	s.maybeStart(to)

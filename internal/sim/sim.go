@@ -57,6 +57,9 @@ type Sim struct {
 	taskSlots []*simTask
 	// partialsScratch is reused across adjustment ticks.
 	partialsScratch []*qos.PartialSummary
+	// dp is the data-plane scraper state (lazily built; nil until the
+	// first adjustment tick with telemetry configured).
+	dp *simDataplane
 	// sourceCount sizes the per-row source-rate maps.
 	sourceCount int
 
@@ -526,6 +529,7 @@ func (s *Sim) adjustmentTick() {
 	// Telemetry observes before the decision is recorded so the audit
 	// event can embed the residual monitor's current drift flags.
 	drift := s.cfg.Telemetry.ObserveInterval(s.now, global, decision, par)
+	s.scrapeDataplane()
 	s.observeSLOs()
 	if decision != nil && s.cfg.Recorder != nil {
 		sd := obs.NewScalingDecision(s.adjustRounds, decision, par)
