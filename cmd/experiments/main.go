@@ -1,15 +1,16 @@
 // Command experiments regenerates the paper's evaluation: every measured
 // figure and table (Figure 3, Figure 5, Figure 6, the Section V-A
 // task-hours sweep, Figure 8) plus the fault-injection recovery run,
-// the processing-guarantee sweep and the tail-latency observability run
-// (quantile-sketch validation, p99 attribution, SLO error budgets),
-// writing CSV time series and printing the shape checks against the
-// paper's reported results.
+// the processing-guarantee sweep, the tail-latency observability run
+// (quantile-sketch validation, p99 attribution, SLO error budgets) and
+// the tail-aware scaling run (percentile vs mean constraints on the
+// bursty tweet trace), writing CSV time series and printing the shape
+// checks against the paper's reported results.
 //
 // Usage:
 //
 //	experiments [-out DIR] [-paper] [-guarantee MODE] [-ckpt.interval S]
-//	            [fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|dataplane|bench|all]
+//	            [fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|tailscaler|dataplane|bench|all]
 //
 // Without -paper the quick (laptop-scale) variants run; -paper uses the
 // full 130-node topology and 60 s steps (minutes of wall-clock time).
@@ -33,6 +34,7 @@ import (
 	"nephelix/internal/ckpt"
 	"nephelix/internal/engine"
 	"nephelix/internal/experiments"
+	"nephelix/internal/model"
 	"nephelix/internal/obs"
 	"nephelix/internal/sim"
 )
@@ -150,6 +152,13 @@ func run(outDir string, paper bool, which string, guarantee ckpt.Guarantee, ckpt
 		}
 		failures += n
 	}
+	if all || which == "tailscaler" {
+		n, err := runTailScaler(outDir)
+		if err != nil {
+			return err
+		}
+		failures += n
+	}
 	if all || which == "dataplane" {
 		n, err := runDataplane(outDir)
 		if err != nil {
@@ -157,8 +166,8 @@ func run(outDir string, paper bool, which string, guarantee ckpt.Guarantee, ckpt
 		}
 		failures += n
 	}
-	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" && which != "guarantees" && which != "tails" && which != "dataplane" {
-		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|dataplane|bench|all)", which)
+	if !all && which != "fig3" && which != "fig5" && which != "fig6" && which != "taskhours" && which != "fig8" && which != "faults" && which != "guarantees" && which != "tails" && which != "tailscaler" && which != "dataplane" {
+		return fmt.Errorf("unknown experiment %q (want fig3|fig5|fig6|taskhours|fig8|faults|guarantees|tails|tailscaler|dataplane|bench|all)", which)
 	}
 	if failures > 0 {
 		return fmt.Errorf("%d shape check(s) failed", failures)
@@ -434,6 +443,45 @@ func runTails(outDir string, paper bool) (int, error) {
 		return n, err
 	}
 	fmt.Printf("  wrote %s (%d series)\n", tsPath, telemetry.Store().Len())
+	return n, nil
+}
+
+func runTailScaler(outDir string) (int, error) {
+	opts := experiments.TailScalerQuick()
+	opts.Recorder = recorder
+	opts.Telemetry = telemetry
+	start := time.Now()
+	res, err := experiments.RunTailScaler(opts)
+	if err != nil {
+		return 0, err
+	}
+	n := report("Tail scaler: percentile vs mean constraints on the bursty trace", res.Checks, time.Since(start))
+	fmt.Printf("  %s fulfillment gap on %s: %+.0f points; task-hour premium %.2f×\n",
+		model.QuantileLabel(opts.Quantile), res.GapProbe, res.Gap*100, res.TaskHourRatio)
+	fmt.Printf("  steady-trace tail model: mean |rel err| %.2f over %d predicted-vs-measured pairs\n",
+		res.Steady.TailRelErr, res.Steady.TailRelErrSamples)
+
+	path := filepath.Join(outDir, "tailscaler.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return n, err
+	}
+	defer f.Close()
+	if err := res.WriteTailScalerCSV(f); err != nil {
+		return n, err
+	}
+	fmt.Printf("  wrote %s (3 variants)\n", path)
+
+	tsPath := filepath.Join(outDir, "tailscaler_timeseries.json")
+	tf, err := os.Create(tsPath)
+	if err != nil {
+		return n, err
+	}
+	defer tf.Close()
+	if err := res.Tail.Telemetry.WriteJSON(tf); err != nil {
+		return n, err
+	}
+	fmt.Printf("  wrote %s (%d series)\n", tsPath, res.Tail.Telemetry.Store().Len())
 	return n, nil
 }
 

@@ -45,6 +45,10 @@ type PrimeTesterOptions struct {
 	// ConstraintBound enables the latency constraint (0 disables; the
 	// 16KiB and IF configurations run unconstrained).
 	ConstraintBound time.Duration
+	// ConstraintQuantile, when in (0,1), makes the constraint a
+	// percentile constraint bounding that quantile of the sequence
+	// latency instead of the mean. 0 keeps mean semantics.
+	ConstraintQuantile float64
 	// Elastic enables reactive scaling.
 	Elastic bool
 	// Scaler configures the elastic scaler; zero value takes the paper's
@@ -202,8 +206,12 @@ func BuildPrimeTester(opts PrimeTesterOptions) (sim.Config, *sim.ProbeSet, error
 			Sequence: seq,
 			Bound:    opts.ConstraintBound,
 			Window:   10 * time.Second,
+			Quantile: opts.ConstraintQuantile,
 		})
 		probes.SetBound(PrimeProbe, opts.ConstraintBound.Seconds())
+		if q := opts.ConstraintQuantile; q > 0 && q < 1 {
+			probes.SetQuantile(PrimeProbe, q)
+		}
 	}
 
 	cfg := sim.Config{

@@ -62,6 +62,12 @@ type TwitterSentimentOptions struct {
 	// Bound1 and Bound2 are the two constraint bounds (paper: 215 ms and
 	// 30 ms).
 	Bound1, Bound2 time.Duration
+	// ConstraintQuantile, when in (0,1), turns both constraints into
+	// percentile constraints (js, ℓ_pXX, t): the scaler then bounds that
+	// quantile of the sequence latency instead of the mean, and the
+	// probes account per-interval tail fulfillment. 0 keeps the paper's
+	// mean semantics.
+	ConstraintQuantile float64
 	// Elastic enables reactive scaling.
 	Elastic bool
 	Scaler  core.ScalerConfig
@@ -497,6 +503,10 @@ func BuildTwitterSentiment(opts TwitterSentimentOptions) (sim.Config, *sim.Probe
 	probeSent := probes.Probe(SentimentProbe)
 	probes.SetBound(HotTopicsProbe, opts.Bound1.Seconds())
 	probes.SetBound(SentimentProbe, opts.Bound2.Seconds())
+	if q := opts.ConstraintQuantile; q > 0 && q < 1 {
+		probes.SetQuantile(HotTopicsProbe, q)
+		probes.SetQuantile(SentimentProbe, q)
+	}
 	payloads := newTopicListPayloads()
 
 	seq1, err := model.ParseSequence(g,
@@ -514,8 +524,8 @@ func BuildTwitterSentiment(opts TwitterSentimentOptions) (sim.Config, *sim.Probe
 		return sim.Config{}, nil, fmt.Errorf("apps: %w", err)
 	}
 	constraints := []*model.Constraint{
-		{Name: "constraint-1", Sequence: seq1, Bound: opts.Bound1, Window: 10 * time.Second},
-		{Name: "constraint-2", Sequence: seq2, Bound: opts.Bound2, Window: 10 * time.Second},
+		{Name: "constraint-1", Sequence: seq1, Bound: opts.Bound1, Window: 10 * time.Second, Quantile: opts.ConstraintQuantile},
+		{Name: "constraint-2", Sequence: seq2, Bound: opts.Bound2, Window: 10 * time.Second, Quantile: opts.ConstraintQuantile},
 	}
 
 	var sched workload.Schedule = opts.Schedule

@@ -42,6 +42,17 @@ func (p BottleneckPolicy) HasBottleneck(g *model.JobGraph, seq *model.Sequence, 
 	return false
 }
 
+// isHot reports whether a vertex triggers bottleneck resolution: either
+// its measured utilization is at the threshold, or it is in the tailHot
+// set (its measured tail-quantile queue wait exceeds the constraint
+// bound even though the mean utilization looks fine).
+func (p BottleneckPolicy) isHot(name string, vs qos.VertexStats, ok bool, tailHot map[string]bool) bool {
+	if tailHot[name] {
+		return true
+	}
+	return ok && vs.Utilization() >= p.rhoMax()
+}
+
 // ResolveBottlenecks implements Equation 10: every bottleneck vertex of
 // the sequence gets the new parallelism
 //
@@ -58,6 +69,17 @@ func (p BottleneckPolicy) HasBottleneck(g *model.JobGraph, seq *model.Sequence, 
 // maximum parallelism (or inelastic): per the paper the user must be
 // informed, as scaling out cannot resolve them.
 func (p BottleneckPolicy) ResolveBottlenecks(g *model.JobGraph, seq *model.Sequence, s *qos.Summary) (map[string]int, []string) {
+	return p.ResolveBottlenecksTail(g, seq, s, nil)
+}
+
+// ResolveBottlenecksTail is ResolveBottlenecks with an additional set of
+// tail-hot vertices: vertices whose measured tail-quantile queue wait
+// violates a percentile constraint bound even though their utilization
+// sits below ρ_max. The mean-driven trigger never sees these — a vertex
+// at ρ = 0.7 can hold a p99 wait far above the bound under bursty
+// arrivals — so percentile constraints feed them in here and they get
+// the same Equation 10 treatment as utilization bottlenecks.
+func (p BottleneckPolicy) ResolveBottlenecksTail(g *model.JobGraph, seq *model.Sequence, s *qos.Summary, tailHot map[string]bool) (map[string]int, []string) {
 	result := make(map[string]int)
 	var unresolvable []string
 	for _, name := range seq.Vertices() {
@@ -71,7 +93,7 @@ func (p BottleneckPolicy) ResolveBottlenecks(g *model.JobGraph, seq *model.Seque
 			cur = vs.Parallelism
 		}
 		result[name] = cur
-		if !ok || vs.Utilization() < p.rhoMax() {
+		if !p.isHot(name, vs, ok, tailHot) {
 			continue
 		}
 		// Equation 10. λ·p·S̄ is the total busy-server demand of the

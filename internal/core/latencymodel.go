@@ -70,6 +70,22 @@ type VertexModel struct {
 	// service time s̄, squared coefficients of variation); kept for the
 	// decision audit trail.
 	Lambda, SMean, CA2, CS2 float64
+
+	// Kappa is the tail coefficient κ ≥ 1 folded into A for percentile
+	// constraints: W(p*) then models the TailQuantile-th quantile wait
+	// κ·e·a/(p*−b) instead of the mean. 1 for mean constraints.
+	Kappa float64
+	// TailQuantile is the quantile the model targets (0 = mean).
+	TailQuantile float64
+	// TailFit records which rung of the fallback ladder produced Kappa:
+	// "fit" (fresh window), "held" (sparse window, prior fit reused),
+	// "mean" (no fit — κ = 1). Empty for mean constraints.
+	TailFit string
+
+	// Notes is the audit trail of input clamps applied while fitting
+	// (e.g. a NaN CV from a sparse summary interval replaced by 0), so
+	// decision logs show when the model ran on sanitized inputs.
+	Notes []string
 }
 
 // Wait returns the modeled queue waiting time W(p*) at parallelism pStar.
@@ -165,6 +181,15 @@ type ModelOptions struct {
 	// uncapped (and argues the resulting overscaling is useful); a value
 	// of 0 means uncapped.
 	ErrorCoefficientMax float64
+
+	// TailQuantile, when in (0,1), fits the model to that quantile of
+	// the queue wait instead of the mean by inflating A with the vertex's
+	// tail coefficient κ from Tail. 0 keeps mean semantics.
+	TailQuantile float64
+	// Tail supplies per-vertex tail coefficients fitted online from the
+	// observed queue-wait quantile sketches. Nil (or no fit yet) degrades
+	// to κ = 1, i.e. the Kingman mean model.
+	Tail *TailFitter
 }
 
 // DefaultModelOptions returns the default configuration: error
@@ -191,10 +216,26 @@ func BuildVertexModel(jv *model.JobVertex, seq *model.Sequence, s *qos.Summary, 
 	if p <= 0 {
 		p = jv.Parallelism
 	}
-	lambda := vs.ArrivalRate()
-	sMean := vs.ServiceTimeMean
-	ca2 := vs.InterarrivalCV * vs.InterarrivalCV
-	cs2 := vs.ServiceTimeCV * vs.ServiceTimeCV
+	var notes []string
+	// Sparse summary intervals (a handful of records, or a vertex that
+	// saw no traffic) can yield NaN or negative moments. A NaN anywhere
+	// in A or B poisons every Rebalance marginal comparison — NaN
+	// compares false against everything, so the gradient loop stalls or
+	// picks arbitrary vertices. Clamp each input with an audit note
+	// instead of letting it through.
+	sanitize := func(v float64, what string) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			notes = append(notes, fmt.Sprintf("%s %g clamped to 0 (sparse interval)", what, v))
+			return 0
+		}
+		return v
+	}
+	lambda := sanitize(vs.ArrivalRate(), "arrival rate")
+	sMean := sanitize(vs.ServiceTimeMean, "service-time mean")
+	caV := sanitize(vs.InterarrivalCV, "interarrival CV")
+	csV := sanitize(vs.ServiceTimeCV, "service-time CV")
+	ca2 := caV * caV
+	cs2 := csV * csV
 
 	a := lambda * sMean * sMean * float64(p) * (ca2 + cs2) / 2
 	b := lambda * sMean * float64(p)
@@ -207,7 +248,11 @@ func BuildVertexModel(jv *model.JobVertex, seq *model.Sequence, s *qos.Summary, 
 				wk := KingmanWait(lambda, sMean, ca2, cs2)
 				if wk > 0 && !math.IsInf(wk, 1) {
 					e = es.QueueWait() / wk
-					if e <= 0 {
+					// A non-finite or non-positive fit (NaN passes every
+					// ordered comparison below false, so test it first)
+					// falls back to the uncorrected model.
+					if math.IsNaN(e) || math.IsInf(e, 0) || e <= 0 {
+						notes = append(notes, fmt.Sprintf("error coefficient %g reset to 1", e))
 						e = 1
 					}
 					if opts.ErrorCoefficientMax > 0 && e > opts.ErrorCoefficientMax {
@@ -218,18 +263,27 @@ func BuildVertexModel(jv *model.JobVertex, seq *model.Sequence, s *qos.Summary, 
 		}
 	}
 
+	kappa, fit := 1.0, ""
+	if opts.TailQuantile > 0 && opts.TailQuantile < 1 {
+		kappa, fit = opts.Tail.Kappa(jv.Name, opts.TailQuantile)
+	}
+
 	return &VertexModel{
-		Name:    jv.Name,
-		Current: p,
-		Min:     jv.MinParallelism,
-		Max:     jv.MaxParallelism,
-		A:       e * a,
-		B:       b,
-		E:       e,
-		Lambda:  lambda,
-		SMean:   sMean,
-		CA2:     ca2,
-		CS2:     cs2,
+		Name:         jv.Name,
+		Current:      p,
+		Min:          jv.MinParallelism,
+		Max:          jv.MaxParallelism,
+		A:            kappa * e * a,
+		B:            b,
+		E:            e,
+		Lambda:       lambda,
+		SMean:        sMean,
+		CA2:          ca2,
+		CS2:          cs2,
+		Kappa:        kappa,
+		TailQuantile: opts.TailQuantile,
+		TailFit:      fit,
+		Notes:        notes,
 	}, nil
 }
 

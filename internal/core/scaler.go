@@ -49,6 +49,13 @@ type ConstraintDecision struct {
 	Parallelism map[string]int
 	// Skipped is true when the summary did not cover the sequence yet.
 	Skipped bool
+	// Quantile is the constraint's target quantile (0 for mean
+	// constraints); the fitted models' waits then predict that quantile.
+	Quantile float64
+	// TailHot lists vertices whose measured tail-quantile queue wait
+	// exceeded the constraint bound, triggering bottleneck resolution
+	// even though their utilization sat below ρ_max.
+	TailHot []string
 	// Coverage is the fraction of the sequence's task slots with fresh
 	// QoS reports (set by ElasticScaler.Decide when MinCoverage is
 	// enabled).
@@ -116,20 +123,38 @@ func ScaleReactively(cfg StrategyConfig, g *model.JobGraph, constraints []*model
 	d := &Decision{Desired: make(map[string]int, len(current))}
 
 	for _, c := range constraints {
-		cd := ConstraintDecision{Constraint: c}
+		cd := ConstraintDecision{Constraint: c, Quantile: c.Quantile}
 		if !s.Covers(c.Sequence) {
 			cd.Skipped = true
 			d.PerConstraint = append(d.PerConstraint, cd)
 			continue
 		}
-		if cfg.Bottleneck.HasBottleneck(g, c.Sequence, s) {
-			p, unresolvable := cfg.Bottleneck.ResolveBottlenecks(g, c.Sequence, s)
+		// Percentile constraints fit the models to the target quantile
+		// (κ-inflated A) and extend the bottleneck trigger to tail-hot
+		// vertices — tail violations the mean-driven ρ_max check never
+		// sees.
+		mo := cfg.Model
+		var tailHot map[string]bool
+		if c.IsPercentile() {
+			mo.TailQuantile = c.Quantile
+			for _, name := range c.Sequence.Vertices() {
+				if mo.Tail.TailHot(name, c.Quantile, c.Bound.Seconds()) {
+					if tailHot == nil {
+						tailHot = make(map[string]bool)
+					}
+					tailHot[name] = true
+					cd.TailHot = append(cd.TailHot, name)
+				}
+			}
+		}
+		if cfg.Bottleneck.HasBottleneck(g, c.Sequence, s) || len(tailHot) > 0 {
+			p, unresolvable := cfg.Bottleneck.ResolveBottlenecksTail(g, c.Sequence, s, tailHot)
 			cd.Bottleneck = true
 			cd.Parallelism = p
 			cd.Unresolvable = unresolvable
 			cd.Infeasible = len(unresolvable) > 0
 		} else {
-			sm, err := BuildSequenceModel(g, c.Sequence, s, cfg.Model)
+			sm, err := BuildSequenceModel(g, c.Sequence, s, mo)
 			if err != nil {
 				return nil, fmt.Errorf("core: constraint %q: %w", c.Name, err)
 			}
@@ -260,8 +285,28 @@ func NewElasticScaler(cfg ScalerConfig, g *model.JobGraph, constraints []*model.
 	if cfg.InactivityIntervals < 0 {
 		cfg.InactivityIntervals = 0
 	}
+	// Percentile constraints need a tail fitter; create one tracking all
+	// target quantiles unless the caller supplied its own. The runtime
+	// binds it to telemetry, which feeds it windowed queue-wait quantiles
+	// each adjustment interval.
+	if cfg.Strategy.Model.Tail == nil {
+		var qs []float64
+		for _, c := range constraints {
+			if c.IsPercentile() {
+				qs = append(qs, c.Quantile)
+			}
+		}
+		if len(qs) > 0 {
+			cfg.Strategy.Model.Tail = NewTailFitter(DefaultTailFitterConfig(), qs...)
+		}
+	}
 	return &ElasticScaler{cfg: cfg, graph: g, constraints: constraints}, nil
 }
+
+// TailFitter returns the scaler's tail-coefficient fitter, or nil when
+// no percentile constraint needs one. The runtime hands it to telemetry
+// so measured queue-wait windows flow into the fit.
+func (e *ElasticScaler) TailFitter() *TailFitter { return e.cfg.Strategy.Model.Tail }
 
 // Decide consumes one fresh global summary and returns the scaling actions
 // to apply, or nil during an inactivity phase (or when nothing changes).

@@ -256,6 +256,15 @@ func (e *Engine) Submit(spec *JobSpec, probes *probe.ProbeSet) (*Execution, erro
 			return nil, err
 		}
 		ex.scaler = sc
+		// Percentile constraints: telemetry feeds the scaler's tail
+		// fitter with windowed queue-wait quantiles each interval. The
+		// fit windows are filled from sampled hop decompositions, so a
+		// tail-constrained run needs a tracer even when the caller
+		// configured none.
+		e.cfg.Telemetry.BindTailFitter(sc.TailFitter())
+		if sc.TailFitter() != nil && ex.cfg.Tracer == nil {
+			ex.cfg.Tracer = obs.NewTracer(obs.DefaultTailSampleEvery)
+		}
 	}
 	if err := ex.bootstrap(); err != nil {
 		return nil, err
@@ -1108,10 +1117,14 @@ func (ex *execution) observeSLOs() {
 		if p.BoundSeconds <= 0 {
 			continue
 		}
-		count, bad, est := p.TailState(obs.DefaultSLOQuantile)
+		q := obs.DefaultSLOQuantile
+		if p.Quantile > 0 && p.Quantile < 1 {
+			q = p.Quantile // percentile constraint: track its own quantile
+		}
+		count, bad, est := p.TailState(q)
 		ex.cfg.Telemetry.ObserveSLO(now, obs.SLOTarget{
 			Constraint:   name,
-			Quantile:     obs.DefaultSLOQuantile,
+			Quantile:     q,
 			BoundSeconds: p.BoundSeconds,
 		}, count, bad, est, ex.cfg.Recorder)
 		fed = true

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTailScalerReproduction runs the tail-aware scaling experiment at
+// quick scale and requires every trade-off check to hold — in
+// particular the p99-fulfillment gap: the percentile-constrained scaler
+// must resolve a tail violation the mean-constrained scaler never
+// reacts to.
+func TestTailScalerReproduction(t *testing.T) {
+	res, err := RunTailScaler(TailScalerQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Checks.AllPass() {
+		t.Fatalf("tailscaler checks failed:\n%s", res.Checks)
+	}
+	if res.Gap < 0.05 {
+		t.Fatalf("p99 fulfillment gap %+.3f on %s: elastic-tail did not beat elastic-mean", res.Gap, res.GapProbe)
+	}
+	// The mean and tail runs share trace, seed and scale; only the
+	// constraint semantics differ, so a diverging decision history is
+	// the tail model at work.
+	if res.Tail.TaskHours == res.Mean.TaskHours && res.Tail.ScaleUps == res.Mean.ScaleUps {
+		t.Fatal("elastic-tail run is identical to elastic-mean: percentile constraints had no effect")
+	}
+	if res.Steady.TailRelErrSamples == 0 {
+		t.Fatal("no tail predictions were scored against measured percentiles")
+	}
+
+	var csv strings.Builder
+	if err := res.WriteTailScalerCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	if !strings.Contains(out, "elastic-mean") || !strings.Contains(out, "elastic-tail-steady") {
+		t.Fatalf("CSV missing variants:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 1+3*len(tailScalerProbes) {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", got, 1+3*len(tailScalerProbes), out)
+	}
+}

@@ -174,14 +174,7 @@ func (s *Sketch) Quantile(q float64) float64 {
 	if s == nil || s.count == 0 {
 		return 0
 	}
-	fr := math.Ceil(q * float64(s.count))
-	if fr < 1 {
-		fr = 1
-	}
-	rank := uint64(fr)
-	if rank > s.count {
-		rank = s.count
-	}
+	rank := nearestRank(q, s.count)
 	if rank <= s.zero {
 		return 0
 	}
@@ -346,12 +339,28 @@ func NearestRankOf(samples []float64, q float64) float64 {
 	sorted := make([]float64, len(samples))
 	copy(sorted, samples)
 	sort.Float64s(sorted)
-	rank := int(math.Ceil(q * float64(len(sorted))))
+	return sorted[nearestRank(q, uint64(len(sorted)))-1]
+}
+
+// nearestRank maps a quantile to its 1-based nearest rank ⌈q·n⌉ in
+// [1, n]. The edges are handled explicitly rather than through float
+// conversion: q ≤ 0 and NaN pin to the minimum (rank 1), q ≥ 1 to the
+// maximum (rank n). Converting ⌈NaN⌉ or an out-of-range product to an
+// integer is platform-dependent in Go, which previously made Quantile
+// return the max on amd64 and the min on arm64 for a NaN q.
+func nearestRank(q float64, n uint64) uint64 {
+	switch {
+	case math.IsNaN(q) || q <= 0:
+		return 1
+	case q >= 1:
+		return n
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
 	if rank < 1 {
 		rank = 1
 	}
-	if rank > len(sorted) {
-		rank = len(sorted)
+	if rank > n {
+		rank = n
 	}
-	return sorted[rank-1]
+	return rank
 }

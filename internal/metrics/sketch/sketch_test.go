@@ -284,3 +284,44 @@ func TestNearestRankOf(t *testing.T) {
 		t.Error("NearestRankOf mutated its input")
 	}
 }
+
+// TestSketchQuantileBoundaries pins the nearest-rank edges the tail
+// coefficient divides by: q=0, q=1, a single sample, an empty sketch,
+// and a NaN quantile — each checked against the exact NearestRankOf
+// reference. Converting a NaN rank to an integer is platform-dependent
+// in Go, so before the explicit fast path a NaN q returned the maximum
+// on amd64 and the minimum on arm64.
+func TestSketchQuantileBoundaries(t *testing.T) {
+	samples := []float64{0.4, 0.1, 0.3, 0.2, 0.5}
+	s := NewDefault()
+	for _, v := range samples {
+		s.Add(v)
+	}
+	for _, q := range []float64{0, -1, 1, 2, math.NaN()} {
+		exact := NearestRankOf(samples, q)
+		if got := s.Quantile(q); relErr(got, exact) > s.Alpha() {
+			t.Errorf("Quantile(%v) = %g, want within α of exact nearest-rank %g", q, got, exact)
+		}
+	}
+	if got := NearestRankOf(samples, math.NaN()); got != 0.1 {
+		t.Errorf("NearestRankOf(NaN) = %g, want minimum 0.1", got)
+	}
+
+	one := NewDefault()
+	one.Add(0.25)
+	for _, q := range []float64{0, 0.5, 0.99, 1, math.NaN()} {
+		if got := one.Quantile(q); relErr(got, 0.25) > one.Alpha() {
+			t.Errorf("single-sample Quantile(%v) = %g, want ≈0.25 at every q", q, got)
+		}
+		if got := NearestRankOf([]float64{0.25}, q); got != 0.25 {
+			t.Errorf("single-sample NearestRankOf(%v) = %g, want 0.25", q, got)
+		}
+	}
+
+	empty := NewDefault()
+	for _, q := range []float64{0, 0.5, 1, math.NaN()} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %g, want 0", q, got)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -150,6 +151,9 @@ func (s *Sequence) String() string {
 // Constraint is a latency constraint (js, ℓ, t): the mean sequence latency
 // of the data items passing through the runtime sequences of js during any
 // window of t time units must not exceed ℓ (Section II-A5, Equation 1).
+// With Quantile set it becomes a percentile constraint (js, ℓ_pXX, t): the
+// q-th quantile of the sequence latencies, rather than their mean, must
+// stay under ℓ.
 type Constraint struct {
 	// Name identifies the constraint in reports.
 	Name string
@@ -159,7 +163,15 @@ type Constraint struct {
 	Bound time.Duration
 	// Window is the averaging window t (e.g. 10 s).
 	Window time.Duration
+	// Quantile selects percentile semantics: 0 keeps the paper's mean
+	// constraint; a value in (0, 1) bounds that quantile of the sequence
+	// latency instead (e.g. 0.99 for a p99 constraint).
+	Quantile float64
 }
+
+// IsPercentile reports whether the constraint bounds a latency quantile
+// rather than the mean.
+func (c *Constraint) IsPercentile() bool { return c.Quantile > 0 && c.Quantile < 1 }
 
 // Validate checks the constraint for structural soundness.
 func (c *Constraint) Validate() error {
@@ -172,10 +184,26 @@ func (c *Constraint) Validate() error {
 	if c.Window <= 0 {
 		return fmt.Errorf("model: constraint %q: window must be positive, got %v", c.Name, c.Window)
 	}
+	if c.Quantile != 0 && !(c.Quantile > 0 && c.Quantile < 1) {
+		return fmt.Errorf("model: constraint %q: quantile must be in (0,1) or 0 for mean semantics, got %v", c.Name, c.Quantile)
+	}
 	return nil
+}
+
+// QuantileLabel renders a quantile as a metric-style label ("p99",
+// "p99.9"); the empty string for mean constraints.
+func QuantileLabel(q float64) string {
+	if !(q > 0 && q < 1) {
+		return ""
+	}
+	s := strconv.FormatFloat(q*100, 'f', -1, 64)
+	return "p" + s
 }
 
 // String renders the constraint for diagnostics.
 func (c *Constraint) String() string {
+	if c.IsPercentile() {
+		return fmt.Sprintf("%s: %s(%s) <= %v over %v", c.Name, c.Sequence, QuantileLabel(c.Quantile), c.Bound, c.Window)
+	}
 	return fmt.Sprintf("%s: %s <= %v over %v", c.Name, c.Sequence, c.Bound, c.Window)
 }

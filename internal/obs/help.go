@@ -38,6 +38,10 @@ var metricHelp = map[string]string{
 	"nephelix_dataplane_pool_hit_rate":           "Batch-pool hit rate per pool shard over the interval.",
 	"nephelix_dataplane_wait_vs_predicted_ratio": "Measured ring wait over the Kingman-predicted queue wait of the consuming vertex.",
 
+	// Percentile-constraint (tail-aware wait model) gauges.
+	"nephelix_tail_kappa":        "Fitted tail coefficient kappa per vertex and target quantile (tail wait over mean wait, >= 1).",
+	"nephelix_tail_wait_seconds": "Measured tail-quantile queue wait of the last fit window per vertex.",
+
 	// Model-drift telemetry.
 	"nephelix_model_residual_mean_seconds":   "Mean prediction residual (measured-predicted queue wait).",
 	"nephelix_model_residual_stddev_seconds": "Stddev of the prediction residual.",

@@ -33,11 +33,16 @@ type ResidualConfig struct {
 	// (over−under)/(over+under) exceeds this in magnitude (default 0.9:
 	// nearly every prediction errs the same way).
 	BiasDrift float64
+	// Deadband exempts residuals below this fraction of the constraint
+	// bound from the over/under sign tally (default 0.02): a prediction
+	// off by a fraction of a millisecond against a 30 ms bound is noise,
+	// not model drift, even when the sign repeats every interval.
+	Deadband float64
 }
 
 // DefaultResidualConfig returns the default thresholds.
 func DefaultResidualConfig() ResidualConfig {
-	return ResidualConfig{MinSamples: 8, RelErrDrift: 1.0, BiasDrift: 0.9}
+	return ResidualConfig{MinSamples: 8, RelErrDrift: 1.0, BiasDrift: 0.9, Deadband: 0.02}
 }
 
 func (c ResidualConfig) withDefaults() ResidualConfig {
@@ -49,6 +54,9 @@ func (c ResidualConfig) withDefaults() ResidualConfig {
 	}
 	if c.BiasDrift <= 0 {
 		c.BiasDrift = 0.9
+	}
+	if c.Deadband <= 0 {
+		c.Deadband = 0.02
 	}
 	return c
 }
@@ -110,11 +118,25 @@ type ScoredResidual struct {
 	Measured   float64
 }
 
+// BiasFloorFraction exempts pairings from the sign tally when both the
+// measured and the predicted wait stay below this fraction of the
+// constraint bound: the vertex is nowhere near endangering the
+// constraint, so persistent micro-residual signs are not drift.
+const BiasFloorFraction = 0.1
+
 // pendingPrediction is a W(p*) waiting for the next interval's summary.
 type pendingPrediction struct {
 	key       ResidualKey
 	edge      model.EdgeKey
 	predicted float64
+	// quantile > 0 marks a tail prediction (κ-inflated model): it is
+	// scored against the measured q-quantile queue wait of the vertex's
+	// fit window, not the summary's mean — the drift flags then cover
+	// the tail fit with the same thresholds as the mean model.
+	quantile float64
+	// bound is the constraint bound in seconds; it scales the sign-bias
+	// deadband.
+	bound float64
 }
 
 // residualCell accumulates one (constraint, vertex) pair.
@@ -138,6 +160,22 @@ type ResidualMonitor struct {
 	mu      sync.Mutex
 	cells   map[ResidualKey]*residualCell
 	pending []pendingPrediction
+
+	// tailMeasure resolves a vertex's measured q-quantile queue wait for
+	// the interval being scored (set by Telemetry from its per-vertex fit
+	// windows). Nil leaves tail predictions unscoreable.
+	tailMeasure func(vertex string, q float64) (float64, bool)
+}
+
+// SetTailMeasure installs the measured-tail lookup used to score
+// percentile predictions.
+func (m *ResidualMonitor) SetTailMeasure(fn func(vertex string, q float64) (float64, bool)) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.tailMeasure = fn
+	m.mu.Unlock()
 }
 
 // NewResidualMonitor returns a monitor with the given thresholds (zero
@@ -165,11 +203,23 @@ func (m *ResidualMonitor) Observe(now float64, s *qos.Summary, d *core.Decision)
 
 	if s != nil {
 		for _, p := range m.pending {
-			es, ok := s.Edge(p.edge)
-			if !ok {
-				continue // edge vanished from the summary: unscoreable
+			var measured float64
+			if p.quantile > 0 {
+				if m.tailMeasure == nil {
+					continue // no tail lookup bound: unscoreable
+				}
+				tw, ok := m.tailMeasure(p.key.Vertex, p.quantile)
+				if !ok {
+					continue // fit window too sparse this interval
+				}
+				measured = tw
+			} else {
+				es, ok := s.Edge(p.edge)
+				if !ok {
+					continue // edge vanished from the summary: unscoreable
+				}
+				measured = es.QueueWait()
 			}
-			measured := es.QueueWait()
 			cell := m.cells[p.key]
 			if cell == nil {
 				cell = &residualCell{}
@@ -180,6 +230,14 @@ func (m *ResidualMonitor) Observe(now float64, s *qos.Summary, d *core.Decision)
 				cell.absRel.Add(math.Abs(measured-p.predicted) / measured)
 			}
 			switch {
+			case math.Abs(measured-p.predicted) < m.cfg.Deadband*p.bound:
+				// Within the deadband: too small relative to the
+				// constraint bound to count as sign evidence.
+			case p.bound > 0 && measured < BiasFloorFraction*p.bound &&
+				p.predicted < BiasFloorFraction*p.bound:
+				// Both sides of the pairing sit far below the bound:
+				// whatever the sign, the cell cannot mislead a scaling
+				// decision, so it is noise rather than drift.
 			case p.predicted > measured:
 				cell.over++
 			case p.predicted < measured:
@@ -224,6 +282,8 @@ func (m *ResidualMonitor) Observe(now float64, s *qos.Summary, d *core.Decision)
 					key:       ResidualKey{Constraint: cd.Constraint.Name, Vertex: vm.Name},
 					edge:      edge,
 					predicted: predicted,
+					quantile:  vm.TailQuantile,
+					bound:     cd.Constraint.Bound.Seconds(),
 				})
 			}
 		}

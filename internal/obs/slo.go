@@ -25,9 +25,11 @@ type SLOTarget struct {
 	BoundSeconds float64 `json:"bound_seconds"`
 }
 
-// SLOTargetsFromConstraints derives one DefaultSLOQuantile target per
-// latency constraint, reusing the constraint's name and bound. The
-// result is deterministic (input order preserved).
+// SLOTargetsFromConstraints derives one target per latency constraint,
+// reusing the constraint's name and bound. Percentile constraints carry
+// their own quantile; mean constraints get the DefaultSLOQuantile
+// error-budget accounting. The result is deterministic (input order
+// preserved).
 func SLOTargetsFromConstraints(cs []*model.Constraint) []SLOTarget {
 	if len(cs) == 0 {
 		return nil
@@ -37,9 +39,13 @@ func SLOTargetsFromConstraints(cs []*model.Constraint) []SLOTarget {
 		if c == nil {
 			continue
 		}
+		q := DefaultSLOQuantile
+		if c.IsPercentile() {
+			q = c.Quantile
+		}
 		out = append(out, SLOTarget{
 			Constraint:   c.Name,
-			Quantile:     DefaultSLOQuantile,
+			Quantile:     q,
 			BoundSeconds: c.Bound.Seconds(),
 		})
 	}

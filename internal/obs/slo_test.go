@@ -6,7 +6,10 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
+	"nephelix/internal/core"
+	"nephelix/internal/model"
 	"nephelix/internal/obs/ts"
 )
 
@@ -388,4 +391,86 @@ func TestObsSketchSeriesKind(t *testing.T) {
 	if g.Quantile(0.5) != 0 || g.SketchCount() != 0 {
 		t.Error("non-sketch series leaked sketch state")
 	}
+}
+
+// TestObsTailFitGauges: binding a tail fitter publishes the
+// percentile-constraint gauges — κ and the measured tail wait — per
+// vertex and quantile once a fit window closes, and percentile
+// constraints carry their own quantile into the SLO targets.
+func TestObsTailFitGauges(t *testing.T) {
+	tel := NewTelemetry(64)
+	fit := core.NewTailFitter(core.DefaultTailFitterConfig(), 0.99)
+	tel.BindTailFitter(fit)
+	for i := 1; i <= 100; i++ {
+		tel.ObserveHop(1, "worker", "src->worker", 0, 0, float64(i)*0.001, 0.004)
+	}
+	tel.ObserveInterval(2, nil, nil, nil)
+
+	kappa, state := fit.Kappa("worker", 0.99)
+	if state != core.TailFitFresh {
+		t.Fatalf("fitter state = %q, want %q", state, core.TailFitFresh)
+	}
+	if kappa <= 1 {
+		t.Errorf("κ = %v, want > 1 for a spread wait window", kappa)
+	}
+
+	got := map[string]float64{}
+	for _, s := range tel.Snapshot("nephelix_tail_", 0, 10).Series {
+		if len(s.Points) > 0 && s.Labels["vertex"] == "worker" {
+			got[s.Name+"|"+s.Labels["q"]] = s.Points[len(s.Points)-1].V
+		}
+	}
+	if v, ok := got["nephelix_tail_kappa|p99"]; !ok || v != kappa {
+		t.Errorf("κ gauge = %v, %v; want %v published", v, ok, kappa)
+	}
+	if v, ok := got["nephelix_tail_wait_seconds|p99"]; !ok || v <= 0 {
+		t.Errorf("tail wait gauge = %v, %v; want positive", v, ok)
+	}
+
+	var b strings.Builder
+	writeMetrics(&b, tel.ExpositionMetrics())
+	out := b.String()
+	for _, want := range []string{
+		`nephelix_tail_kappa{q="p99",vertex="worker"}`,
+		`nephelix_tail_wait_seconds{q="p99",vertex="worker"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	seq := percentileTestSequence(t)
+	targets := SLOTargetsFromConstraints([]*model.Constraint{
+		{Name: "tail", Sequence: seq, Bound: 30 * time.Millisecond, Window: time.Second, Quantile: 0.95},
+		{Name: "mean", Sequence: seq, Bound: 30 * time.Millisecond, Window: time.Second},
+	})
+	if targets[0].Quantile != 0.95 {
+		t.Errorf("percentile constraint target quantile = %v, want 0.95", targets[0].Quantile)
+	}
+	if targets[1].Quantile != DefaultSLOQuantile {
+		t.Errorf("mean constraint target quantile = %v, want default %v", targets[1].Quantile, DefaultSLOQuantile)
+	}
+}
+
+// percentileTestSequence builds a minimal two-vertex sequence for
+// constraint construction in tests.
+func percentileTestSequence(t *testing.T) *model.Sequence {
+	t.Helper()
+	g := model.NewJobGraph()
+	for _, v := range []model.JobVertex{
+		{Name: "src", Parallelism: 1, MinParallelism: 1, MaxParallelism: 1},
+		{Name: "worker", Parallelism: 1, MinParallelism: 1, MaxParallelism: 4},
+	} {
+		if err := g.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddEdge("src", "worker", model.PatternRoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	seq, err := model.ParseSequence(g, "src->worker", "worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"nephelix/internal/core"
+	"nephelix/internal/metrics/sketch"
 	"nephelix/internal/obs/ts"
 	"nephelix/internal/qos"
 )
@@ -63,6 +64,14 @@ type Telemetry struct {
 	hopMu      sync.Mutex
 	hopEdges   map[string]*hopSeries
 	hopService map[string]*ts.Series
+
+	// Tail-fit state: when a TailFitter is bound, winWait keeps one
+	// windowed queue-wait sketch per vertex (fed in ObserveHop, reset
+	// after each interval's fit), so the scaler's κ coefficients and the
+	// residual monitor's tail scoring both see the same fit windows.
+	// Guarded by hopMu alongside the hop maps.
+	tailFit *core.TailFitter
+	winWait map[string]*sketch.Sketch
 
 	mu       sync.Mutex
 	resHists map[ResidualKey]*ts.Series
@@ -191,6 +200,41 @@ func (t *Telemetry) Residuals() *ResidualMonitor {
 	return t.res
 }
 
+// BindTailFitter connects the scaler's tail-coefficient fitter: from
+// now on ObserveHop also feeds per-vertex windowed queue-wait sketches,
+// ObserveInterval fits κ from them (publishing the percentile-constraint
+// gauges) and the residual monitor scores tail predictions against the
+// same windows. A nil fitter (no percentile constraints) is a no-op.
+func (t *Telemetry) BindTailFitter(f *core.TailFitter) {
+	if t == nil || f == nil {
+		return
+	}
+	t.hopMu.Lock()
+	t.tailFit = f
+	if t.winWait == nil {
+		t.winWait = make(map[string]*sketch.Sketch)
+	}
+	t.hopMu.Unlock()
+	t.res.SetTailMeasure(t.measuredTailWait)
+}
+
+// measuredTailWait returns the current fit window's q-quantile queue
+// wait for a vertex, and whether the window has enough observations to
+// be meaningful (the fitter's MinSamples would reject it anyway, so an
+// empty window reports not-ok).
+func (t *Telemetry) measuredTailWait(vertex string, q float64) (float64, bool) {
+	if t == nil {
+		return 0, false
+	}
+	t.hopMu.Lock()
+	defer t.hopMu.Unlock()
+	sk := t.winWait[vertex]
+	if sk == nil || sk.Count() == 0 {
+		return 0, false
+	}
+	return sk.Quantile(q), true
+}
+
 // ObserveE2E feeds one sampled end-to-end record latency (seconds) into
 // the e2e histogram and the e2e quantile sketch. Called at span finish;
 // allocation-free after the first observation.
@@ -228,6 +272,14 @@ func (t *Telemetry) ObserveHop(now float64, vertex, edge string, batch, transit,
 		sv = t.store.SketchSeries("nephelix_hop_service_seconds",
 			map[string]string{"vertex": vertex}, 0)
 		t.hopService[vertex] = sv
+	}
+	if t.tailFit != nil {
+		ws := t.winWait[vertex]
+		if ws == nil {
+			ws = sketch.NewDefault()
+			t.winWait[vertex] = ws
+		}
+		ws.Add(wait)
 	}
 	t.hopMu.Unlock()
 	hs.batch.Observe(now, batch)
@@ -334,12 +386,44 @@ func (t *Telemetry) ObserveInterval(now float64, s *qos.Summary, d *core.Decisio
 	for _, sc := range scored {
 		t.residualHist(sc.Constraint, sc.Vertex).Observe(now, math.Abs(sc.Measured-sc.Predicted))
 	}
+	t.fitTail(now)
 	t.scrapeResiduals(now)
 	t.scrapeSummary(now, s, par)
 	t.scrapeDecision(now, d)
 	t.scrapeTail(now)
 	t.scrapeRuntime(now)
 	return flags
+}
+
+// fitTail closes one tail-fit window: every vertex's windowed
+// queue-wait sketch is folded into the bound fitter at each target
+// quantile, the percentile-constraint gauges (κ and measured tail wait)
+// are published, and the windows are reset for the next interval. It
+// must run after the residual monitor scored the interval (tail
+// predictions read the same windows) and is a no-op without a fitter.
+func (t *Telemetry) fitTail(now float64) {
+	t.hopMu.Lock()
+	f := t.tailFit
+	if f == nil {
+		t.hopMu.Unlock()
+		return
+	}
+	for vertex, sk := range t.winWait {
+		for _, q := range f.Quantiles() {
+			f.Observe(vertex, q, core.TailWindow{
+				Count:    sk.Count(),
+				MeanWait: sk.Mean(),
+				TailWait: sk.Quantile(q),
+			})
+		}
+		sk.Reset()
+	}
+	t.hopMu.Unlock()
+	for _, cell := range f.Snapshot() {
+		labels := map[string]string{"vertex": cell.Vertex, "q": quantileLabel(cell.Quantile)}
+		t.store.Gauge("nephelix_tail_kappa", labels).Set(now, cell.Kappa)
+		t.store.Gauge("nephelix_tail_wait_seconds", labels).Set(now, cell.LastTail)
+	}
 }
 
 // scrapeTail publishes the e2e sketch's quantiles as per-interval

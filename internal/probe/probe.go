@@ -26,6 +26,11 @@ type Probe struct {
 	// BoundSeconds is the constraint bound ℓ used for fulfillment
 	// accounting; 0 disables it.
 	BoundSeconds float64
+	// Quantile, when in (0,1), additionally accounts percentile
+	// fulfillment: an adjustment interval counts as tail-fulfilled when
+	// the interval's q-th quantile latency meets the bound. 0 tracks the
+	// DefaultSLOQuantile-style p99 only through the run-wide sketch.
+	Quantile float64
 	// Tap, when set before the run starts, receives every recorded
 	// latency under the probe lock — experiments use it to capture the
 	// exact stream the sketches summarize.
@@ -33,15 +38,17 @@ type Probe struct {
 
 	mu sync.Mutex
 
-	adj metrics.Welford // per adjustment interval
+	adj   metrics.Welford // per adjustment interval
+	adjSk *sketch.Sketch  // per adjustment interval (tail fulfillment)
 
 	rec    metrics.Welford    // per record interval
 	recRes *metrics.Reservoir // per record interval (raw samples)
 	recSk  *sketch.Sketch     // per record interval (p95)
 
 	// fulfillment counters over adjustment intervals with data.
-	intervals int
-	fulfilled int
+	intervals     int
+	fulfilled     int
+	tailFulfilled int // intervals whose q-quantile met the bound
 
 	total metrics.Welford
 	all   *metrics.Reservoir // run-wide raw samples
@@ -56,6 +63,7 @@ func (p *Probe) Record(latency float64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.adj.Add(latency)
+	p.adjSk.Add(latency)
 	p.rec.Add(latency)
 	p.recRes.Add(latency)
 	p.recSk.Add(latency)
@@ -67,8 +75,8 @@ func (p *Probe) Record(latency float64) {
 	}
 }
 
-// AdjSnapshot closes one adjustment interval: it updates the fulfillment
-// counters and resets the adjustment accumulator.
+// AdjSnapshot closes one adjustment interval: it updates the mean and
+// tail fulfillment counters and resets the adjustment accumulators.
 func (p *Probe) AdjSnapshot() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -79,7 +87,13 @@ func (p *Probe) AdjSnapshot() {
 	if p.BoundSeconds <= 0 || p.adj.Mean() <= p.BoundSeconds {
 		p.fulfilled++
 	}
+	if p.Quantile > 0 && p.Quantile < 1 {
+		if p.BoundSeconds <= 0 || p.adjSk.Quantile(p.Quantile) <= p.BoundSeconds {
+			p.tailFulfilled++
+		}
+	}
 	p.adj.Reset()
+	p.adjSk.Reset()
 }
 
 // RecSnapshot closes one record interval and returns (count, mean, p95).
@@ -105,6 +119,18 @@ func (p *Probe) Fulfillment() (fraction float64, intervals int) {
 		return 0, 0
 	}
 	return float64(p.fulfilled) / float64(p.intervals), p.intervals
+}
+
+// TailFulfillment returns the fraction of adjustment intervals whose
+// q-quantile latency met the bound (0 when the probe has no quantile or
+// no counted intervals), plus the counted intervals.
+func (p *Probe) TailFulfillment() (fraction float64, intervals int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.intervals == 0 || !(p.Quantile > 0 && p.Quantile < 1) {
+		return 0, p.intervals
+	}
+	return float64(p.tailFulfilled) / float64(p.intervals), p.intervals
 }
 
 // TotalMean returns the run-wide mean latency.
@@ -210,6 +236,7 @@ func (ps *ProbeSet) Probe(name string) *Probe {
 	if !ok {
 		p = &Probe{
 			Name:   name,
+			adjSk:  sketch.NewDefault(),
 			recRes: metrics.NewReservoir(4096, rand.New(rand.NewSource(ps.probeSeed(name, 1)))),
 			recSk:  sketch.NewDefault(),
 			all:    metrics.NewReservoir(16384, rand.New(rand.NewSource(ps.probeSeed(name, 2)))),
@@ -223,6 +250,12 @@ func (ps *ProbeSet) Probe(name string) *Probe {
 // SetBound attaches a constraint bound to the named probe.
 func (ps *ProbeSet) SetBound(name string, boundSeconds float64) {
 	ps.Probe(name).BoundSeconds = boundSeconds
+}
+
+// SetQuantile attaches a percentile-constraint quantile to the named
+// probe, enabling per-interval tail-fulfillment accounting.
+func (ps *ProbeSet) SetQuantile(name string, q float64) {
+	ps.Probe(name).Quantile = q
 }
 
 // Len returns the number of probes in the set.

@@ -384,7 +384,15 @@ func TestObsSimResidualTelemetryParity(t *testing.T) {
 				if measured > 0 {
 					acc.absRel.Add(math.Abs(measured-predicted) / measured)
 				}
+				// Mirror the monitor's sign-bias exemptions: residuals
+				// inside the deadband and pairings far below the bound
+				// carry no drift evidence.
+				bound := cfg.Constraints[0].Bound.Seconds()
+				deadband := obs.DefaultResidualConfig().Deadband
 				switch {
+				case math.Abs(measured-predicted) < deadband*bound:
+				case measured < obs.BiasFloorFraction*bound &&
+					predicted < obs.BiasFloorFraction*bound:
 				case predicted > measured:
 					acc.over++
 				case predicted < measured:

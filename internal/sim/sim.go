@@ -129,7 +129,12 @@ type ProbeSummary struct {
 	Intervals   int
 	Mean        float64
 	P95         float64
+	P99         float64
 	Count       int64
+	// TailFulfillment is the fraction of intervals whose TailQuantile-th
+	// quantile latency met the bound (percentile-constraint probes only).
+	TailFulfillment float64
+	TailQuantile    float64
 }
 
 // Result is the outcome of a simulation run.
@@ -231,6 +236,15 @@ func New(cfg Config, probes *ProbeSet) (*Sim, error) {
 			return nil, fmt.Errorf("sim: %w", err)
 		}
 		s.scaler = sc
+		// Percentile constraints: telemetry feeds the scaler's tail
+		// fitter with windowed queue-wait quantiles each interval. The
+		// fit windows are filled from sampled hop decompositions, so a
+		// tail-constrained run needs a tracer even when the caller
+		// configured none.
+		cfg.Telemetry.BindTailFitter(sc.TailFitter())
+		if sc.TailFitter() != nil && s.cfg.Tracer == nil {
+			s.cfg.Tracer = obs.NewTracer(obs.DefaultTailSampleEvery)
+		}
 	}
 	s.sloTargets = obs.SLOTargetsFromConstraints(cfg.Constraints)
 	s.initGuarantees()
@@ -255,10 +269,14 @@ func (s *Sim) observeSLOs() {
 		if p.BoundSeconds <= 0 {
 			continue
 		}
-		count, bad, est := p.TailState(obs.DefaultSLOQuantile)
+		q := obs.DefaultSLOQuantile
+		if p.Quantile > 0 && p.Quantile < 1 {
+			q = p.Quantile // percentile constraint: track its own quantile
+		}
+		count, bad, est := p.TailState(q)
 		s.cfg.Telemetry.ObserveSLO(s.now, obs.SLOTarget{
 			Constraint:   name,
-			Quantile:     obs.DefaultSLOQuantile,
+			Quantile:     q,
 			BoundSeconds: p.BoundSeconds,
 		}, count, bad, est, s.cfg.Recorder)
 		fed = true
@@ -782,12 +800,16 @@ func (s *Sim) Run() (*Result, error) {
 	for _, name := range s.probes.Names() {
 		p := s.probes.Probe(name)
 		frac, intervals := p.Fulfillment()
+		tailFrac, _ := p.TailFulfillment()
 		res.Probes[name] = ProbeSummary{
-			Fulfillment: frac,
-			Intervals:   intervals,
-			Mean:        p.TotalMean(),
-			P95:         p.TotalP95(),
-			Count:       p.TotalCount(),
+			Fulfillment:     frac,
+			Intervals:       intervals,
+			Mean:            p.TotalMean(),
+			P95:             p.TotalP95(),
+			P99:             p.TotalQuantile(0.99),
+			Count:           p.TotalCount(),
+			TailFulfillment: tailFrac,
+			TailQuantile:    p.Quantile,
 		}
 	}
 	if g := s.guar; g != nil {
